@@ -1,0 +1,49 @@
+//! DAG generator and substrate throughput (construction, topological
+//! utilities, minimum dominators) — the substrate every experiment builds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebble_dag::generators::{attention_qk, fft, matmul, random_layered, RandomLayeredConfig};
+use pebble_dag::{dominators, topo, BitSet};
+use pebble_hardness::reduction48;
+use pebble_hardness::UGraph;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for m in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("fft", m), &m, |b, &m| b.iter(|| fft(m)));
+    }
+    group.bench_function("matmul_16", |b| b.iter(|| matmul(16, 16, 16)));
+    group.bench_function("attention_qk_32_4", |b| b.iter(|| attention_qk(32, 4)));
+    group.bench_function("reduction48_c5", |b| {
+        let g = UGraph::cycle(5);
+        b.iter(|| reduction48::build(&g, 0))
+    });
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    let dag = random_layered(RandomLayeredConfig {
+        layers: 12,
+        width: 64,
+        max_in_degree: 4,
+        seed: 7,
+    });
+    group.bench_function("topological_order_768_nodes", |b| {
+        b.iter(|| topo::topological_order(&dag))
+    });
+    group.bench_function("levels_768_nodes", |b| b.iter(|| topo::levels(&dag)));
+    let sinks = BitSet::from_indices(
+        dag.node_count(),
+        dag.sinks().iter().map(|v| v.index()),
+    );
+    group.bench_function("min_dominator_sinks_768_nodes", |b| {
+        b.iter(|| dominators::min_dominator_size(&dag, &sinks))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_substrate);
+criterion_main!(benches);

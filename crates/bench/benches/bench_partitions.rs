@@ -1,0 +1,62 @@
+//! Partition construction and validation (E8, E9 families).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebble_bounds::counterexample::{partition_from_pebbling, prbp_trivial_trace};
+use pebble_bounds::from_pebbling::{dominator_partition_from_prbp, edge_partition_from_prbp};
+use pebble_dag::generators::{kary_tree, matvec, spartition_counterexample};
+use pebble_game::strategies;
+
+fn bench_trace_to_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_to_partition");
+    group.sample_size(10);
+    let mv = matvec(8);
+    let trace = strategies::matvec::prbp_streaming(&mv);
+    group.bench_function("edge_partition_matvec_m8", |b| {
+        b.iter(|| edge_partition_from_prbp(&mv.dag, &trace, 11))
+    });
+    group.bench_function("dominator_partition_matvec_m8", |b| {
+        b.iter(|| dominator_partition_from_prbp(&mv.dag, &trace, 11))
+    });
+    let tree = kary_tree(2, 6);
+    let tree_trace = strategies::tree::prbp_tree(&tree);
+    group.bench_function("edge_partition_tree_d6", |b| {
+        b.iter(|| edge_partition_from_prbp(&tree.dag, &tree_trace, 3))
+    });
+    group.finish();
+}
+
+fn bench_partition_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_validation");
+    group.sample_size(10);
+    let mv = matvec(6);
+    let trace = strategies::matvec::prbp_streaming(&mv);
+    let ep = edge_partition_from_prbp(&mv.dag, &trace, 9);
+    group.bench_function("validate_edge_partition_matvec_m6", |b| {
+        b.iter(|| ep.validate(&mv.dag, 18).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_counterexample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_5_4_counterexample");
+    group.sample_size(10);
+    for size in [50usize, 200] {
+        let cx = spartition_counterexample(size);
+        group.bench_with_input(BenchmarkId::new("pebble_and_partition", size), &cx, |b, cx| {
+            b.iter(|| {
+                let trace = prbp_trivial_trace(cx);
+                let p = partition_from_pebbling(cx);
+                (trace.io_cost(), p.class_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_to_partition,
+    bench_partition_validation,
+    bench_counterexample
+);
+criterion_main!(benches);

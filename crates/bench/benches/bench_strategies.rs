@@ -1,0 +1,103 @@
+//! Strategy generation + validated replay for the structured workloads
+//! (E2, E3, E4, E6, E10, E11, E12 families).
+
+use bench::{replay_prbp, replay_rbp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebble_dag::generators::{attention_full, chained_gadgets, fft, kary_tree, matmul, matvec, zipper};
+use pebble_game::strategies;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec_prop_4_3");
+    group.sample_size(10);
+    for m in [8usize, 16, 32] {
+        let g = matvec(m);
+        group.bench_with_input(BenchmarkId::new("prbp_streaming", m), &g, |b, g| {
+            b.iter(|| {
+                let t = strategies::matvec::prbp_streaming(g);
+                replay_prbp(&g.dag, &t, m + 3)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rbp_row_by_row", m), &g, |b, g| {
+            b.iter(|| {
+                let t = strategies::matvec::rbp_row_by_row(g);
+                replay_rbp(&g.dag, &t, 2 * m)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trees_and_zipper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trees_and_zipper");
+    group.sample_size(10);
+    for d in [6usize, 8] {
+        let tree = kary_tree(2, d);
+        group.bench_with_input(BenchmarkId::new("binary_tree_prbp", d), &tree, |b, tree| {
+            b.iter(|| {
+                let t = strategies::tree::prbp_tree(tree);
+                replay_prbp(&tree.dag, &t, 3)
+            })
+        });
+    }
+    let z = zipper(5, 20);
+    group.bench_function("zipper_prbp_d5_l20", |b| {
+        b.iter(|| {
+            let t = strategies::zipper::prbp_zipper(&z);
+            replay_prbp(&z.dag, &t, 7)
+        })
+    });
+    group.finish();
+}
+
+fn bench_linear_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chained_gadgets_prop_4_7");
+    group.sample_size(10);
+    for copies in [16usize, 64, 256] {
+        let g = chained_gadgets(copies);
+        group.bench_with_input(BenchmarkId::new("prbp", copies), &g, |b, g| {
+            b.iter(|| {
+                let t = strategies::chain_gadget::prbp_trace(g);
+                replay_prbp(&g.dag, &t, 4)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_section_6_3");
+    group.sample_size(10);
+    for m in [256usize, 1024] {
+        let f = fft(m);
+        group.bench_with_input(BenchmarkId::new("fft_blocked_r16", m), &f, |b, f| {
+            b.iter(|| {
+                let t = strategies::fft::prbp_blocked(f, 16).unwrap();
+                replay_prbp(&f.dag, &t, 16)
+            })
+        });
+    }
+    let mm = matmul(10, 10, 10);
+    group.bench_function("matmul_tiled_m10_r25", |b| {
+        b.iter(|| {
+            let t = strategies::matmul::prbp_tiled(&mm, 25).unwrap();
+            replay_prbp(&mm.dag, &t, 25)
+        })
+    });
+    let att = attention_full(12, 2);
+    group.bench_function("attention_streaming_m12_d2_r19", |b| {
+        b.iter(|| {
+            let t = strategies::attention::prbp_streaming(&att, 19).unwrap();
+            replay_prbp(&att.dag, &t, 19)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_trees_and_zipper,
+    bench_linear_gap,
+    bench_kernels
+);
+criterion_main!(benches);

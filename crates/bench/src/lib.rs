@@ -1,0 +1,41 @@
+//! Shared helpers for the Criterion benchmark suites.
+//!
+//! The benchmarks mirror the experiment families of `pebble-experiments`
+//! (which print the paper's tables); here the same workloads are measured for
+//! *throughput* of the library itself — simulator replay speed, exact-solver
+//! latency on the gadget DAGs, strategy generation and partition
+//! construction.
+
+use pebble_dag::Dag;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::trace::{PrbpTrace, RbpTrace};
+
+/// Replay an RBP trace and return its validated cost (panics on an invalid
+/// trace — benchmarks must only measure correct pebblings).
+pub fn replay_rbp(dag: &Dag, trace: &RbpTrace, r: usize) -> usize {
+    trace
+        .validate(dag, RbpConfig::new(r))
+        .expect("benchmark trace must be valid")
+}
+
+/// Replay a PRBP trace and return its validated cost.
+pub fn replay_prbp(dag: &Dag, trace: &PrbpTrace, r: usize) -> usize {
+    trace
+        .validate(dag, PrbpConfig::new(r))
+        .expect("benchmark trace must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::generators::fig1_full;
+    use pebble_game::strategies::fig1;
+
+    #[test]
+    fn replay_helpers_return_costs() {
+        let f = fig1_full();
+        assert_eq!(replay_rbp(&f.dag, &fig1::rbp_optimal_trace(&f), 4), 3);
+        assert_eq!(replay_prbp(&f.dag, &fig1::prbp_optimal_trace(&f), 4), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Edge-based partitions: S-edge partitions (Definition 6.3).
+
+use crate::s_partition::PartitionError;
+use crate::terminal::edge_terminal_set;
+use pebble_dag::dominators::{min_dominator_size, start_set};
+use pebble_dag::{BitSet, Dag, EdgeId};
+use serde::{Deserialize, Serialize};
+
+/// An ordered partition `E₁, …, E_k` of the edges of a DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SEdgePartition {
+    /// Classes in order; `classes[i]` is `E_{i+1}`.
+    pub classes: Vec<BitSet>,
+}
+
+impl SEdgePartition {
+    /// Number of classes `k`.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Index of the class containing edge `e`, if any.
+    pub fn class_of(&self, e: EdgeId) -> Option<usize> {
+        self.classes.iter().position(|c| c.contains(e.index()))
+    }
+
+    /// Validate this as an S-edge partition (Definition 6.3) with parameter
+    /// `s`:
+    ///
+    /// 1. every edge is covered exactly once;
+    /// 2. *well-ordered*: for consecutive edges `(u,v), (v,w)`, the edge
+    ///    `(v,w)` never lies in an earlier class than `(u,v)`;
+    /// 3. each class has an edge-dominator of size at most `s`;
+    /// 4. each class's edge-terminal set has size at most `s`.
+    pub fn validate(&self, dag: &Dag, s: usize) -> Result<(), PartitionError> {
+        let m = dag.edge_count();
+        let mut seen = vec![false; m];
+        for class in &self.classes {
+            for e in class.iter() {
+                if seen[e] {
+                    return Err(PartitionError::NotAPartition { node: e });
+                }
+                seen[e] = true;
+            }
+        }
+        if let Some(e) = seen.iter().position(|&s| !s) {
+            return Err(PartitionError::NotAPartition { node: e });
+        }
+        let mut class_of = vec![usize::MAX; m];
+        for (i, class) in self.classes.iter().enumerate() {
+            for e in class.iter() {
+                class_of[e] = i;
+            }
+        }
+        // Well-ordering: for every node v, every incoming edge must be in a
+        // class no later than every outgoing edge.
+        for v in dag.nodes() {
+            let max_in = dag
+                .in_edges(v)
+                .iter()
+                .map(|&(_, e)| class_of[e.index()])
+                .max();
+            let min_out = dag
+                .out_edges(v)
+                .iter()
+                .map(|&(_, e)| class_of[e.index()])
+                .min();
+            if let (Some(max_in), Some(min_out)) = (max_in, min_out) {
+                if max_in > min_out {
+                    return Err(PartitionError::CyclicDependency {
+                        from_class: max_in,
+                        to_class: min_out,
+                    });
+                }
+            }
+        }
+        // Edge-dominator and edge-terminal conditions.
+        for (i, class) in self.classes.iter().enumerate() {
+            let starts = start_set(dag, class);
+            let minimum = min_dominator_size(dag, &starts);
+            if minimum > s {
+                return Err(PartitionError::DominatorTooLarge { class: i, minimum });
+            }
+            let terminal = edge_terminal_set(dag, class).count();
+            if terminal > s {
+                return Err(PartitionError::TerminalTooLarge { class: i, size: terminal });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::{DagBuilder, NodeId};
+
+    /// a -> b -> c chain (2 edges).
+    fn chain3() -> Dag {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_class_is_valid() {
+        let g = chain3();
+        let p = SEdgePartition { classes: vec![BitSet::full(2)] };
+        assert!(p.validate(&g, 1).is_ok());
+        assert_eq!(p.class_count(), 1);
+        assert_eq!(p.class_of(pebble_dag::EdgeId(1)), Some(0));
+    }
+
+    #[test]
+    fn respecting_edge_order_is_required() {
+        let g = chain3();
+        // (b,c) before (a,b): violates well-ordering.
+        let p = SEdgePartition {
+            classes: vec![BitSet::from_indices(2, [1]), BitSet::from_indices(2, [0])],
+        };
+        assert!(matches!(
+            p.validate(&g, 1),
+            Err(PartitionError::CyclicDependency { .. })
+        ));
+        // The other way round is fine.
+        let p = SEdgePartition {
+            classes: vec![BitSet::from_indices(2, [0]), BitSet::from_indices(2, [1])],
+        };
+        assert!(p.validate(&g, 1).is_ok());
+    }
+
+    #[test]
+    fn missing_or_duplicated_edges_are_rejected() {
+        let g = chain3();
+        let p = SEdgePartition { classes: vec![BitSet::from_indices(2, [0])] };
+        assert!(matches!(
+            p.validate(&g, 1),
+            Err(PartitionError::NotAPartition { .. })
+        ));
+        let p = SEdgePartition {
+            classes: vec![BitSet::from_indices(2, [0, 1]), BitSet::from_indices(2, [1])],
+        };
+        assert!(matches!(
+            p.validate(&g, 1),
+            Err(PartitionError::NotAPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_dominator_condition_is_checked() {
+        // Star with 3 sources into a sink: the single class of all edges needs
+        // an edge-dominator of size 3 (the sources, or equivalently the sink...
+        // note the sink does not dominate paths *ending* at it through Start(E0)).
+        let mut b = DagBuilder::new();
+        let s = b.add_nodes(3);
+        let t = b.add_node();
+        for &x in &s {
+            b.add_edge(x, t);
+        }
+        let g = b.build().unwrap();
+        let p = SEdgePartition { classes: vec![BitSet::full(3)] };
+        assert!(matches!(
+            p.validate(&g, 2),
+            Err(PartitionError::DominatorTooLarge { .. })
+        ));
+        assert!(p.validate(&g, 3).is_ok());
+    }
+
+    #[test]
+    fn edge_terminal_condition_is_checked() {
+        // Fan-out: one source into 3 sinks; the class of all edges has
+        // edge-terminal set {the three sinks}.
+        let mut b = DagBuilder::new();
+        let s = b.add_node();
+        let t = b.add_nodes(3);
+        for &x in &t {
+            b.add_edge(s, x);
+        }
+        let g = b.build().unwrap();
+        let p = SEdgePartition { classes: vec![BitSet::full(3)] };
+        assert!(matches!(
+            p.validate(&g, 2),
+            Err(PartitionError::TerminalTooLarge { size: 3, .. })
+        ));
+        assert!(p.validate(&g, 3).is_ok());
+    }
+
+    #[test]
+    fn per_node_split_of_diamond_is_valid() {
+        // Diamond split into two classes: edges out of the source, then edges
+        // into the sink.
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let x = b.add_node();
+        let y = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, d);
+        b.add_edge(y, d);
+        let g = b.build().unwrap();
+        let first: Vec<usize> = [g.find_edge(a, x), g.find_edge(a, y)]
+            .iter()
+            .map(|e| e.unwrap().index())
+            .collect();
+        let second: Vec<usize> = [g.find_edge(x, d), g.find_edge(y, d)]
+            .iter()
+            .map(|e| e.unwrap().index())
+            .collect();
+        let p = SEdgePartition {
+            classes: vec![
+                BitSet::from_indices(4, first),
+                BitSet::from_indices(4, second),
+            ],
+        };
+        assert!(p.validate(&g, 2).is_ok());
+        assert!(p.validate(&g, 1).is_err());
+        let _ = NodeId(0);
+    }
+}

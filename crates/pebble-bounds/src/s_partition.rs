@@ -1,0 +1,268 @@
+//! Node-based partitions: Hong–Kung S-partitions (Definition 5.3) and
+//! S-dominator partitions (Definition 6.6).
+
+use crate::terminal::terminal_set;
+use pebble_dag::dominators::min_dominator_size;
+use pebble_dag::{BitSet, Dag, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a partition failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A node appears in no class or in more than one class.
+    NotAPartition { node: usize },
+    /// Condition (i): an edge goes from a later class to an earlier one.
+    CyclicDependency { from_class: usize, to_class: usize },
+    /// Condition (ii): a class has no dominator of size at most S.
+    DominatorTooLarge { class: usize, minimum: usize },
+    /// Condition (iii): a class's terminal set exceeds S.
+    TerminalTooLarge { class: usize, size: usize },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::NotAPartition { node } => {
+                write!(f, "node {node} is not covered exactly once")
+            }
+            PartitionError::CyclicDependency { from_class, to_class } => {
+                write!(f, "edge from class {from_class} back to class {to_class}")
+            }
+            PartitionError::DominatorTooLarge { class, minimum } => {
+                write!(f, "class {class} needs a dominator of size {minimum}")
+            }
+            PartitionError::TerminalTooLarge { class, size } => {
+                write!(f, "class {class} has a terminal set of size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// An ordered partition `V₁, …, V_k` of the nodes of a DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SPartition {
+    /// Classes in order; `classes[i]` is `V_{i+1}`.
+    pub classes: Vec<BitSet>,
+}
+
+impl SPartition {
+    /// Number of classes `k`.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Index of the class containing node `v`, if any.
+    pub fn class_of(&self, v: NodeId) -> Option<usize> {
+        self.classes.iter().position(|c| c.contains(v.index()))
+    }
+
+    /// Check that the classes form a partition of `V` and that conditions (i)
+    /// and (ii) of Definition 5.3 hold with parameter `s`; `check_terminal`
+    /// additionally enforces condition (iii). The same routine therefore
+    /// validates both S-partitions and S-dominator partitions.
+    fn validate_impl(
+        &self,
+        dag: &Dag,
+        s: usize,
+        check_terminal: bool,
+    ) -> Result<(), PartitionError> {
+        let n = dag.node_count();
+        // Exact cover.
+        let mut seen = vec![false; n];
+        for class in &self.classes {
+            for v in class.iter() {
+                if seen[v] {
+                    return Err(PartitionError::NotAPartition { node: v });
+                }
+                seen[v] = true;
+            }
+        }
+        if let Some(v) = seen.iter().position(|&s| !s) {
+            return Err(PartitionError::NotAPartition { node: v });
+        }
+        // Condition (i): no edge from a later class into an earlier class.
+        let mut class_of = vec![usize::MAX; n];
+        for (i, class) in self.classes.iter().enumerate() {
+            for v in class.iter() {
+                class_of[v] = i;
+            }
+        }
+        for e in dag.edges() {
+            let (u, v) = dag.edge_endpoints(e);
+            if class_of[u.index()] > class_of[v.index()] {
+                return Err(PartitionError::CyclicDependency {
+                    from_class: class_of[u.index()],
+                    to_class: class_of[v.index()],
+                });
+            }
+        }
+        // Condition (ii): dominator of size at most s.
+        for (i, class) in self.classes.iter().enumerate() {
+            let minimum = min_dominator_size(dag, class);
+            if minimum > s {
+                return Err(PartitionError::DominatorTooLarge { class: i, minimum });
+            }
+        }
+        // Condition (iii): terminal set of size at most s.
+        if check_terminal {
+            for (i, class) in self.classes.iter().enumerate() {
+                let size = terminal_set(dag, class).count();
+                if size > s {
+                    return Err(PartitionError::TerminalTooLarge { class: i, size });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate this partition as an S-partition (Definition 5.3).
+    pub fn validate(&self, dag: &Dag, s: usize) -> Result<(), PartitionError> {
+        self.validate_impl(dag, s, true)
+    }
+
+    /// Validate this partition as an S-dominator partition only
+    /// (Definition 6.6, i.e. without the terminal-set condition).
+    pub fn validate_dominator_only(&self, dag: &Dag, s: usize) -> Result<(), PartitionError> {
+        self.validate_impl(dag, s, false)
+    }
+}
+
+/// An S-dominator partition (Definition 6.6): same data as an [`SPartition`],
+/// but only conditions (i) and (ii) are required.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SDominatorPartition {
+    /// Classes in order.
+    pub classes: Vec<BitSet>,
+}
+
+impl SDominatorPartition {
+    /// Number of classes `k`.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Validate conditions (i) and (ii) of Definition 5.3 with parameter `s`.
+    pub fn validate(&self, dag: &Dag, s: usize) -> Result<(), PartitionError> {
+        SPartition { classes: self.classes.clone() }.validate_dominator_only(dag, s)
+    }
+}
+
+/// The Hong–Kung style lower bound from a partition count:
+/// `OPT ≥ r·(MIN(2r) − 1)`, instantiated with an upper bound `k ≥ MIN(2r)`
+/// obtained from any concrete partition. Note that a concrete partition gives
+/// an *upper* bound on `MIN(2r)`, so this helper is used with partition counts
+/// that are themselves lower bounds on `MIN` (e.g. from the counterexample
+/// analysis or from structural arguments).
+pub fn partition_lower_bound(r: usize, min_classes: usize) -> usize {
+    r * min_classes.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::DagBuilder;
+
+    /// a -> b -> c chain.
+    fn chain3() -> Dag {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_class_partition_of_chain_is_valid() {
+        let g = chain3();
+        let p = SPartition { classes: vec![BitSet::full(3)] };
+        assert!(p.validate(&g, 1).is_ok());
+        assert_eq!(p.class_count(), 1);
+        assert_eq!(p.class_of(pebble_dag::NodeId(1)), Some(0));
+    }
+
+    #[test]
+    fn missing_node_is_rejected() {
+        let g = chain3();
+        let p = SPartition { classes: vec![BitSet::from_indices(3, [0, 1])] };
+        assert_eq!(
+            p.validate(&g, 2),
+            Err(PartitionError::NotAPartition { node: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicate_node_is_rejected() {
+        let g = chain3();
+        let p = SPartition {
+            classes: vec![BitSet::from_indices(3, [0, 1]), BitSet::from_indices(3, [1, 2])],
+        };
+        assert_eq!(
+            p.validate(&g, 2),
+            Err(PartitionError::NotAPartition { node: 1 })
+        );
+    }
+
+    #[test]
+    fn backwards_edge_is_rejected() {
+        let g = chain3();
+        let p = SPartition {
+            classes: vec![BitSet::from_indices(3, [1, 2]), BitSet::from_indices(3, [0])],
+        };
+        assert_eq!(
+            p.validate(&g, 2),
+            Err(PartitionError::CyclicDependency { from_class: 1, to_class: 0 })
+        );
+    }
+
+    #[test]
+    fn dominator_condition_is_checked() {
+        // Star: 3 sources into one sink. The class {sink} has minimum
+        // dominator size 1, but the class of all nodes needs 3 (the sources).
+        let mut b = DagBuilder::new();
+        let s = b.add_nodes(3);
+        let t = b.add_node();
+        for &x in &s {
+            b.add_edge(x, t);
+        }
+        let g = b.build().unwrap();
+        let p = SPartition { classes: vec![BitSet::full(4)] };
+        assert!(matches!(
+            p.validate(&g, 2),
+            Err(PartitionError::DominatorTooLarge { class: 0, minimum: 3 })
+        ));
+        assert!(p.validate(&g, 3).is_ok());
+    }
+
+    #[test]
+    fn terminal_condition_distinguishes_partition_kinds() {
+        // Fan-out: one source into 3 sinks. Every class containing the three
+        // sinks has terminal size 3; as an S-partition with S = 2 it fails,
+        // but as an S-dominator partition it is fine (dominator = the source).
+        let mut b = DagBuilder::new();
+        let s = b.add_node();
+        let t = b.add_nodes(3);
+        for &x in &t {
+            b.add_edge(s, x);
+        }
+        let g = b.build().unwrap();
+        let p = SPartition { classes: vec![BitSet::full(4)] };
+        assert!(matches!(
+            p.validate(&g, 2),
+            Err(PartitionError::TerminalTooLarge { class: 0, size: 3 })
+        ));
+        assert!(p.validate_dominator_only(&g, 2).is_ok());
+        let dp = SDominatorPartition { classes: vec![BitSet::full(4)] };
+        assert!(dp.validate(&g, 2).is_ok());
+        assert_eq!(dp.class_count(), 1);
+    }
+
+    #[test]
+    fn lower_bound_helper() {
+        assert_eq!(partition_lower_bound(4, 3), 8);
+        assert_eq!(partition_lower_bound(4, 0), 0);
+        assert_eq!(partition_lower_bound(4, 1), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Terminal sets (Definition 5.2) and edge-terminal sets (Definition 6.2).
+
+use pebble_dag::{BitSet, Dag, EdgeId};
+
+/// The *terminal set* of a node set `V₀` (Definition 5.2): the nodes of `V₀`
+/// none of whose out-neighbours lie in `V₀`.
+pub fn terminal_set(dag: &Dag, nodes: &BitSet) -> BitSet {
+    debug_assert_eq!(nodes.capacity(), dag.node_count());
+    let mut out = dag.node_set();
+    for v in nodes.iter() {
+        let v_id = pebble_dag::NodeId::from_index(v);
+        if dag.successors(v_id).all(|w| !nodes.contains(w.index())) {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+/// The *edge-terminal set* of an edge set `E₀` (Definition 6.2): the nodes
+/// with at least one incoming edge in `E₀` but no outgoing edge in `E₀`.
+pub fn edge_terminal_set(dag: &Dag, edges: &BitSet) -> BitSet {
+    debug_assert_eq!(edges.capacity(), dag.edge_count());
+    let mut out = dag.node_set();
+    for v in dag.nodes() {
+        let has_in = dag.in_edges(v).iter().any(|&(_, e)| edges.contains(e.index()));
+        if !has_in {
+            continue;
+        }
+        let has_out = dag.out_edges(v).iter().any(|&(_, e)| edges.contains(e.index()));
+        if !has_out {
+            out.insert(v.index());
+        }
+    }
+    out
+}
+
+/// Convenience: the edge set `{e}` as a [`BitSet`] sized for `dag`.
+pub fn single_edge(dag: &Dag, e: EdgeId) -> BitSet {
+    BitSet::from_indices(dag.edge_count(), [e.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::{DagBuilder, NodeId};
+
+    /// a -> b -> d, a -> c -> d.
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let x = b.add_node();
+        let y = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, d);
+        b.add_edge(y, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn terminal_of_full_set_is_the_sink() {
+        let g = diamond();
+        let all = BitSet::full(4);
+        assert_eq!(terminal_set(&g, &all).to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn terminal_of_middle_nodes_is_both() {
+        let g = diamond();
+        let mid = BitSet::from_indices(4, [1, 2]);
+        assert_eq!(terminal_set(&g, &mid).to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn terminal_excludes_nodes_with_successor_inside() {
+        let g = diamond();
+        let set = BitSet::from_indices(4, [0, 1]);
+        // a's successor b is inside, so only b is terminal.
+        assert_eq!(terminal_set(&g, &set).to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn edge_terminal_basic() {
+        let g = diamond();
+        let e_ab = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_bd = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        // E0 = {(a,b)}: b has an incoming edge in E0 and no outgoing edge in E0.
+        let set = single_edge(&g, e_ab);
+        assert_eq!(edge_terminal_set(&g, &set).to_vec(), vec![1]);
+        // E0 = {(a,b), (b,d)}: only d is edge-terminal.
+        let mut set2 = set.clone();
+        set2.insert(e_bd.index());
+        assert_eq!(edge_terminal_set(&g, &set2).to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn edge_terminal_can_contain_both_endpoints_of_a_path() {
+        // The paper's remark after Definition 6.2: with (v1,v2) ∈ E0,
+        // (v2,v3) ∉ E0 and (v4,v3) ∈ E0, both v2 and v3 are edge-terminal.
+        let mut b = DagBuilder::new();
+        let v1 = b.add_node();
+        let v2 = b.add_node();
+        let v3 = b.add_node();
+        let v4 = b.add_node();
+        b.add_edge(v1, v2);
+        b.add_edge(v2, v3);
+        b.add_edge(v4, v3);
+        let g = b.build().unwrap();
+        let e12 = g.find_edge(v1, v2).unwrap();
+        let e43 = g.find_edge(v4, v3).unwrap();
+        let set = BitSet::from_indices(g.edge_count(), [e12.index(), e43.index()]);
+        assert_eq!(edge_terminal_set(&g, &set).to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_sets_have_empty_terminals() {
+        let g = diamond();
+        assert!(terminal_set(&g, &g.node_set()).is_empty());
+        assert!(edge_terminal_set(&g, &g.edge_set()).is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! A compact, fixed-capacity bit set over `u64` words.
+//!
+//! The pebbling engines and the exact solvers keep many node/edge sets per
+//! search state; a word-packed bit set keeps those states small, cheap to
+//! clone, cheap to hash and cheap to compare — all of which the uniform-cost
+//! search over pebbling configurations relies on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fixed-capacity bit set. Capacity is set at construction and never grows.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    /// Number of addressable bits.
+    len: usize,
+    /// Packed words; bits beyond `len` are always zero.
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Create an empty bit set with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Create a bit set of capacity `len` with every bit set.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Number of addressable bits (the capacity, not the number of set bits).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set bit `i`. Returns `true` if the bit was previously clear.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let was_clear = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        was_clear
+    }
+
+    /// Clear bit `i`. Returns `true` if the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let was_set = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was_set
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Remove all bits.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union with `other`. Both sets must have identical capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection with `other`. Both sets must have identical capacity.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place difference (`self \ other`). Both sets must have identical capacity.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share no set bit.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `true` if every set bit of `self` is also set in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over the indices of set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Collect the indices of set bits into a `Vec`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Construct from an iterator of set-bit indices and a capacity.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut s = Self::new(len);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let s = BitSet::from_indices(100, [5, 99, 63, 64, 0]);
+        assert_eq!(s.to_vec(), vec![0, 5, 63, 64, 99]);
+    }
+
+    #[test]
+    fn full_has_all_bits() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!((0..70).all(|i| s.contains(i)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(10, [1, 2, 3]);
+        let b = BitSet::from_indices(10, [3, 4]);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3, 4]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![3]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 2]);
+
+        assert!(!a.is_disjoint(&b));
+        assert!(i.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::from_indices(20, [1, 19]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn equality_and_hash_depend_only_on_bits() {
+        use std::collections::HashSet;
+        let a = BitSet::from_indices(65, [0, 64]);
+        let b = BitSet::from_indices(65, [64, 0]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_indices(mut indices in proptest::collection::vec(0usize..256, 0..64)) {
+            let s = BitSet::from_indices(256, indices.clone());
+            indices.sort_unstable();
+            indices.dedup();
+            prop_assert_eq!(s.to_vec(), indices.clone());
+            prop_assert_eq!(s.count(), indices.len());
+        }
+
+        #[test]
+        fn prop_union_is_superset(
+            a in proptest::collection::vec(0usize..128, 0..32),
+            b in proptest::collection::vec(0usize..128, 0..32),
+        ) {
+            let sa = BitSet::from_indices(128, a);
+            let sb = BitSet::from_indices(128, b);
+            let mut u = sa.clone();
+            u.union_with(&sb);
+            prop_assert!(sa.is_subset(&u));
+            prop_assert!(sb.is_subset(&u));
+            prop_assert_eq!(u.count(), {
+                let mut c = sa.to_vec();
+                c.extend(sb.to_vec());
+                c.sort_unstable();
+                c.dedup();
+                c.len()
+            });
+        }
+
+        #[test]
+        fn prop_difference_disjoint_from_subtrahend(
+            a in proptest::collection::vec(0usize..128, 0..32),
+            b in proptest::collection::vec(0usize..128, 0..32),
+        ) {
+            let sa = BitSet::from_indices(128, a);
+            let sb = BitSet::from_indices(128, b);
+            let mut d = sa.clone();
+            d.difference_with(&sb);
+            prop_assert!(d.is_disjoint(&sb));
+            prop_assert!(d.is_subset(&sa));
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Dominator and edge-dominator sets (Definitions 5.1 and 6.1 of the paper).
+//!
+//! A node set `D` *dominates* a node set `V₀` if every directed path that
+//! starts at a source of the DAG and ends at a node of `V₀` contains a node of
+//! `D`. The edge variant used by the PRBP lower-bound machinery reduces to the
+//! node variant on the start points of the edge set (the paper's observation
+//! after Definition 6.1).
+//!
+//! Besides validity checking, this module computes *minimum* dominator sets by
+//! a node-splitting max-flow reduction (Menger's theorem): the minimum number
+//! of nodes whose removal disconnects the sources from `V₀` equals the maximum
+//! number of node-disjoint source→`V₀` paths.
+
+use crate::bitset::BitSet;
+use crate::flow::{FlowNetwork, INF_CAPACITY};
+use crate::graph::Dag;
+use crate::ids::NodeId;
+
+/// Returns `true` if `dominator` is a dominator set for `targets`
+/// (Definition 5.1).
+///
+/// Implementation: delete the dominator nodes and check whether any source can
+/// still reach a target. A target that is itself a source and not in the
+/// dominator is immediately a witness (the single-node path avoids `D`).
+pub fn is_dominator(dag: &Dag, dominator: &BitSet, targets: &BitSet) -> bool {
+    debug_assert_eq!(dominator.capacity(), dag.node_count());
+    debug_assert_eq!(targets.capacity(), dag.node_count());
+
+    // Forward reachability from the sources avoiding dominator nodes.
+    let mut reach = dag.node_set();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for v in dag.nodes() {
+        if dag.is_source(v) && !dominator.contains(v.index()) {
+            if targets.contains(v.index()) {
+                return false;
+            }
+            reach.insert(v.index());
+            stack.push(v);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &(w, _) in dag.out_edges(v) {
+            if dominator.contains(w.index()) || !reach.insert(w.index()) {
+                continue;
+            }
+            if targets.contains(w.index()) {
+                return false;
+            }
+            stack.push(w);
+        }
+    }
+    true
+}
+
+/// The start points `Start(E₀) = {u | ∃v: (u,v) ∈ E₀}` of an edge set.
+pub fn start_set(dag: &Dag, edges: &BitSet) -> BitSet {
+    debug_assert_eq!(edges.capacity(), dag.edge_count());
+    let mut starts = dag.node_set();
+    for e in edges.iter() {
+        let (u, _) = dag.edge_endpoints(crate::ids::EdgeId::from_index(e));
+        starts.insert(u.index());
+    }
+    starts
+}
+
+/// Returns `true` if `dominator` is an *edge-dominator* for the edge set
+/// `edges` (Definition 6.1): every source-starting path containing an edge of
+/// `edges` must contain a node of `dominator`. Equivalent to `dominator`
+/// dominating `Start(edges)`.
+pub fn is_edge_dominator(dag: &Dag, dominator: &BitSet, edges: &BitSet) -> bool {
+    is_dominator(dag, dominator, &start_set(dag, edges))
+}
+
+/// Size of a minimum dominator set for `targets`, computed by max-flow on the
+/// node-split network.
+pub fn min_dominator_size(dag: &Dag, targets: &BitSet) -> usize {
+    min_dominator_set(dag, targets).count()
+}
+
+/// A minimum dominator set for `targets`.
+///
+/// Node-splitting reduction: every DAG node `v` becomes an arc
+/// `v_in → v_out` of capacity 1; every DAG edge `(u, v)` becomes
+/// `u_out → v_in` with infinite capacity; a super-source feeds every DAG
+/// source's `v_in` with infinite capacity and every target's `v_out` drains to
+/// a super-sink with infinite capacity. A minimum cut then consists solely of
+/// node arcs, and those nodes form a minimum dominator.
+pub fn min_dominator_set(dag: &Dag, targets: &BitSet) -> BitSet {
+    let n = dag.node_count();
+    if targets.is_empty() {
+        return dag.node_set();
+    }
+    // Node v: in = 2v, out = 2v + 1. Super source = 2n, super sink = 2n + 1.
+    let s = 2 * n;
+    let t = 2 * n + 1;
+    let mut net = FlowNetwork::new(2 * n + 2);
+    for v in dag.nodes() {
+        net.add_edge(2 * v.index(), 2 * v.index() + 1, 1);
+        if dag.is_source(v) {
+            net.add_edge(s, 2 * v.index(), INF_CAPACITY);
+        }
+        if targets.contains(v.index()) {
+            net.add_edge(2 * v.index() + 1, t, INF_CAPACITY);
+        }
+        for &(w, _) in dag.out_edges(v) {
+            net.add_edge(2 * v.index() + 1, 2 * w.index(), INF_CAPACITY);
+        }
+    }
+    net.max_flow(s, t);
+    let source_side = net.min_cut_source_side(s);
+    // A node arc (v_in -> v_out) is cut iff v_in is on the source side and
+    // v_out is not.
+    let mut dominator = dag.node_set();
+    for v in dag.nodes() {
+        if source_side[2 * v.index()] && !source_side[2 * v.index() + 1] {
+            dominator.insert(v.index());
+        }
+    }
+    debug_assert!(is_dominator(dag, &dominator, targets));
+    dominator
+}
+
+/// Size of a minimum edge-dominator set for `edges`.
+pub fn min_edge_dominator_size(dag: &Dag, edges: &BitSet) -> usize {
+    min_dominator_size(dag, &start_set(dag, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    /// a -> b -> d, a -> c -> d
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let x = b.add_node();
+        let y = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, d);
+        b.add_edge(y, d);
+        b.build().unwrap()
+    }
+
+    /// Two independent chains a->b, c->d.
+    fn two_chains() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let x = b.add_node();
+        let c = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, x);
+        b.add_edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn source_dominates_everything_below_it() {
+        let g = diamond();
+        let dom = BitSet::from_indices(4, [0]);
+        let targets = BitSet::from_indices(4, [3]);
+        assert!(is_dominator(&g, &dom, &targets));
+    }
+
+    #[test]
+    fn single_branch_does_not_dominate_sink() {
+        let g = diamond();
+        let dom = BitSet::from_indices(4, [1]);
+        let targets = BitSet::from_indices(4, [3]);
+        assert!(!is_dominator(&g, &dom, &targets));
+    }
+
+    #[test]
+    fn both_branches_dominate_sink() {
+        let g = diamond();
+        let dom = BitSet::from_indices(4, [1, 2]);
+        let targets = BitSet::from_indices(4, [3]);
+        assert!(is_dominator(&g, &dom, &targets));
+    }
+
+    #[test]
+    fn target_itself_is_a_dominator() {
+        let g = diamond();
+        let dom = BitSet::from_indices(4, [3]);
+        let targets = BitSet::from_indices(4, [3]);
+        assert!(is_dominator(&g, &dom, &targets));
+    }
+
+    #[test]
+    fn source_target_needs_itself() {
+        let g = diamond();
+        // Target set contains the source node 0: only node 0 itself covers the
+        // single-node path.
+        let targets = BitSet::from_indices(4, [0]);
+        assert!(!is_dominator(&g, &BitSet::new(4), &targets));
+        assert!(is_dominator(&g, &BitSet::from_indices(4, [0]), &targets));
+        assert_eq!(min_dominator_size(&g, &targets), 1);
+    }
+
+    #[test]
+    fn min_dominator_diamond_sink_is_one() {
+        let g = diamond();
+        let targets = BitSet::from_indices(4, [3]);
+        // Either {a} or {d} works, so the minimum has size 1.
+        assert_eq!(min_dominator_size(&g, &targets), 1);
+    }
+
+    #[test]
+    fn min_dominator_middle_pair_is_one() {
+        let g = diamond();
+        let targets = BitSet::from_indices(4, [1, 2]);
+        // {a} covers every path to b and c.
+        assert_eq!(min_dominator_size(&g, &targets), 1);
+    }
+
+    #[test]
+    fn min_dominator_disjoint_chains_is_two() {
+        let g = two_chains();
+        let targets = BitSet::from_indices(4, [1, 3]);
+        assert_eq!(min_dominator_size(&g, &targets), 2);
+    }
+
+    #[test]
+    fn min_dominator_set_is_valid_and_minimal() {
+        let g = diamond();
+        let targets = BitSet::from_indices(4, [3]);
+        let dom = min_dominator_set(&g, &targets);
+        assert!(is_dominator(&g, &dom, &targets));
+        assert_eq!(dom.count(), 1);
+    }
+
+    #[test]
+    fn empty_target_set_has_empty_dominator() {
+        let g = diamond();
+        let targets = BitSet::new(4);
+        assert!(is_dominator(&g, &BitSet::new(4), &targets));
+        assert_eq!(min_dominator_size(&g, &targets), 0);
+    }
+
+    #[test]
+    fn edge_dominator_via_start_set() {
+        let g = diamond();
+        // E0 = {(b, d)}: start set = {b}; {a} dominates it, {c} does not.
+        let e = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let edges = BitSet::from_indices(g.edge_count(), [e.index()]);
+        assert!(is_edge_dominator(&g, &BitSet::from_indices(4, [0]), &edges));
+        assert!(is_edge_dominator(&g, &BitSet::from_indices(4, [1]), &edges));
+        assert!(!is_edge_dominator(&g, &BitSet::from_indices(4, [2]), &edges));
+        assert_eq!(min_edge_dominator_size(&g, &edges), 1);
+    }
+}

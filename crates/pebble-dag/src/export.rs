@@ -1,0 +1,93 @@
+//! DOT / JSON export of DAGs for inspection and debugging.
+
+use crate::graph::Dag;
+
+/// Render the DAG in Graphviz DOT format. Node labels (when non-empty) are
+/// shown next to the node id; sources are drawn as boxes, sinks as double
+/// circles.
+pub fn to_dot(dag: &Dag, graph_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph {graph_name} {{\n"));
+    out.push_str("  rankdir=TB;\n");
+    for v in dag.nodes() {
+        let label = dag.label(v);
+        let display = if label.is_empty() {
+            format!("{}", v.0)
+        } else {
+            format!("{} ({})", v.0, label)
+        };
+        let shape = if dag.is_source(v) {
+            "box"
+        } else if dag.is_sink(v) {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={}];\n",
+            v.0, display, shape
+        ));
+    }
+    for e in dag.edges() {
+        let (u, v) = dag.edge_endpoints(e);
+        out.push_str(&format!("  n{} -> n{};\n", u.0, v.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serialise the DAG to a JSON string (via serde).
+pub fn to_json(dag: &Dag) -> String {
+    serde_json::to_string(dag).expect("Dag serialisation cannot fail")
+}
+
+/// Deserialise a DAG from the JSON produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<Dag, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_labeled_node("in");
+        let c = b.add_node();
+        let d = b.add_labeled_node("out");
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = sample();
+        let dot = to_dot(&g, "sample");
+        assert!(dot.starts_with("digraph sample {"));
+        assert!(dot.contains("n0 [label=\"0 (in)\", shape=box]"));
+        assert!(dot.contains("n2 [label=\"2 (out)\", shape=doublecircle]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let g = sample();
+        let json = to_json(&g);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.label(crate::NodeId(0)), "in");
+        for e in g.edges() {
+            assert_eq!(back.edge_endpoints(e), g.edge_endpoints(e));
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(from_json("{not json").is_err());
+    }
+}

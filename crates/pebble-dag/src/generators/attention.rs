@@ -1,0 +1,236 @@
+//! Attention DAGs (Section 6.3.3, Theorem 6.11).
+//!
+//! [`attention_qk`] builds exactly the part of the attention DAG that the
+//! lower-bound proof argues about: the `Q·Kᵀ` matrix-multiplication with
+//! `2·m·d` sources, `m²·d` internal product nodes, `m²` *root* nodes (the
+//! entries of `Q·Kᵀ`) and one exponentiation successor per root so that the
+//! roots are **not** sinks.
+//!
+//! [`attention_full`] extends this to a complete (unnormalised) attention
+//! forward pass `softmax-numerator(Q·Kᵀ)·V`, used by the richer examples.
+
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::NodeId;
+
+/// The `Q·Kᵀ` part of the attention DAG, as described in Theorem 6.11.
+#[derive(Debug, Clone)]
+pub struct AttentionDag {
+    /// The DAG.
+    pub dag: Dag,
+    /// Sequence length `m`.
+    pub m: usize,
+    /// Head dimension `d`.
+    pub d: usize,
+    /// `q[i][k]` is the source for `Q_{i,k}`.
+    pub q: Vec<Vec<NodeId>>,
+    /// `k[j][kk]` is the source for `K_{j,kk}` (row `j` of `K`, i.e. column `j` of `Kᵀ`).
+    pub k: Vec<Vec<NodeId>>,
+    /// `prod[i][j][kk]` is the internal node `Q_{i,kk}·K_{j,kk}`.
+    pub prod: Vec<Vec<Vec<NodeId>>>,
+    /// `root[i][j]` is the root node for the entry `(Q·Kᵀ)_{i,j}`.
+    pub root: Vec<Vec<NodeId>>,
+    /// `expv[i][j]` is the exponentiation successor of `root[i][j]` (a sink here).
+    pub expv: Vec<Vec<NodeId>>,
+}
+
+/// Build the `Q·Kᵀ` attention DAG for sequence length `m ≥ 1` and head
+/// dimension `d ≥ 1`.
+pub fn attention_qk(m: usize, d: usize) -> AttentionDag {
+    assert!(m >= 1 && d >= 1);
+    let mut b = DagBuilder::new();
+    let q: Vec<Vec<NodeId>> = (0..m)
+        .map(|i| (0..d).map(|kk| b.add_labeled_node(format!("Q{i}_{kk}"))).collect())
+        .collect();
+    let k: Vec<Vec<NodeId>> = (0..m)
+        .map(|j| (0..d).map(|kk| b.add_labeled_node(format!("K{j}_{kk}"))).collect())
+        .collect();
+    let mut prod = vec![vec![Vec::with_capacity(d); m]; m];
+    let mut root = vec![Vec::with_capacity(m); m];
+    let mut expv = vec![Vec::with_capacity(m); m];
+    for i in 0..m {
+        for j in 0..m {
+            for kk in 0..d {
+                let p = b.add_labeled_node(format!("p{i}_{j}_{kk}"));
+                b.add_edge(q[i][kk], p);
+                b.add_edge(k[j][kk], p);
+                prod[i][j].push(p);
+            }
+            let s = b.add_labeled_node(format!("S{i}_{j}"));
+            for kk in 0..d {
+                b.add_edge(prod[i][j][kk], s);
+            }
+            let e = b.add_labeled_node(format!("E{i}_{j}"));
+            b.add_edge(s, e);
+            root[i].push(s);
+            expv[i].push(e);
+        }
+    }
+    let dag = b.build().expect("attention QK DAG is valid");
+    AttentionDag {
+        dag,
+        m,
+        d,
+        q,
+        k,
+        prod,
+        root,
+        expv,
+    }
+}
+
+/// A complete (unnormalised) attention forward pass
+/// `O = exp(Q·Kᵀ)·V`: the [`attention_qk`] DAG extended with the value matrix
+/// `V` and the second matrix multiplication.
+#[derive(Debug, Clone)]
+pub struct AttentionFullDag {
+    /// The DAG.
+    pub dag: Dag,
+    /// Sequence length `m`.
+    pub m: usize,
+    /// Head dimension `d`.
+    pub d: usize,
+    /// Q sources.
+    pub q: Vec<Vec<NodeId>>,
+    /// K sources.
+    pub k: Vec<Vec<NodeId>>,
+    /// V sources: `v[j][kk]` is `V_{j,kk}`.
+    pub v: Vec<Vec<NodeId>>,
+    /// Score roots `S_{i,j}`.
+    pub root: Vec<Vec<NodeId>>,
+    /// Exponentiated scores `E_{i,j}`.
+    pub expv: Vec<Vec<NodeId>>,
+    /// Output sinks `O_{i,kk}` with in-degree `m`.
+    pub out: Vec<Vec<NodeId>>,
+}
+
+/// Build the full attention DAG for sequence length `m ≥ 1` and head
+/// dimension `d ≥ 1`.
+pub fn attention_full(m: usize, d: usize) -> AttentionFullDag {
+    assert!(m >= 1 && d >= 1);
+    let mut b = DagBuilder::new();
+    let q: Vec<Vec<NodeId>> = (0..m)
+        .map(|i| (0..d).map(|kk| b.add_labeled_node(format!("Q{i}_{kk}"))).collect())
+        .collect();
+    let k: Vec<Vec<NodeId>> = (0..m)
+        .map(|j| (0..d).map(|kk| b.add_labeled_node(format!("K{j}_{kk}"))).collect())
+        .collect();
+    let v: Vec<Vec<NodeId>> = (0..m)
+        .map(|j| (0..d).map(|kk| b.add_labeled_node(format!("V{j}_{kk}"))).collect())
+        .collect();
+    let mut root = vec![Vec::with_capacity(m); m];
+    let mut expv = vec![Vec::with_capacity(m); m];
+    for i in 0..m {
+        for j in 0..m {
+            let s = b.add_labeled_node(format!("S{i}_{j}"));
+            for kk in 0..d {
+                let p = b.add_labeled_node(format!("p{i}_{j}_{kk}"));
+                b.add_edge(q[i][kk], p);
+                b.add_edge(k[j][kk], p);
+                b.add_edge(p, s);
+            }
+            let e = b.add_labeled_node(format!("E{i}_{j}"));
+            b.add_edge(s, e);
+            root[i].push(s);
+            expv[i].push(e);
+        }
+    }
+    let mut out = vec![Vec::with_capacity(d); m];
+    for i in 0..m {
+        for kk in 0..d {
+            let o = b.add_labeled_node(format!("O{i}_{kk}"));
+            for j in 0..m {
+                let pv = b.add_labeled_node(format!("pv{i}_{j}_{kk}"));
+                b.add_edge(expv[i][j], pv);
+                b.add_edge(v[j][kk], pv);
+                b.add_edge(pv, o);
+            }
+            out[i].push(o);
+        }
+    }
+    let dag = b.build().expect("full attention DAG is valid");
+    AttentionFullDag {
+        dag,
+        m,
+        d,
+        q,
+        k,
+        v,
+        root,
+        expv,
+        out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qk_shape() {
+        let (m, d) = (3, 2);
+        let g = attention_qk(m, d);
+        // Sources: 2md. Internal: m²d. Roots: m². Exp: m².
+        assert_eq!(g.dag.node_count(), 2 * m * d + m * m * d + 2 * m * m);
+        // Edges: 2 per internal node + d per root + 1 per exp node.
+        assert_eq!(g.dag.edge_count(), 2 * m * m * d + m * m * d + m * m);
+        assert_eq!(g.dag.sources().len(), 2 * m * d);
+        assert_eq!(g.dag.sinks().len(), m * m);
+        assert_eq!(g.dag.max_in_degree(), d);
+    }
+
+    #[test]
+    fn qk_roots_are_not_sinks() {
+        let g = attention_qk(2, 3);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(g.dag.out_degree(g.root[i][j]), 1);
+                assert_eq!(g.dag.in_degree(g.root[i][j]), 3);
+                assert!(g.dag.has_edge(g.root[i][j], g.expv[i][j]));
+                assert!(g.dag.is_sink(g.expv[i][j]));
+            }
+        }
+    }
+
+    #[test]
+    fn qk_internal_trees_are_disjoint() {
+        // Internal nodes of different (i, j) trees never coincide and never
+        // share edges to a different root.
+        let g = attention_qk(3, 2);
+        for i in 0..3 {
+            for j in 0..3 {
+                for kk in 0..2 {
+                    let p = g.prod[i][j][kk];
+                    assert_eq!(g.dag.out_degree(p), 1);
+                    assert!(g.dag.has_edge(p, g.root[i][j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_attention_shape() {
+        let (m, d) = (2, 2);
+        let g = attention_full(m, d);
+        // Sources 3md, score products m²d, scores m², exp m², out products m·d·m, outputs m·d.
+        assert_eq!(
+            g.dag.node_count(),
+            3 * m * d + m * m * d + 2 * m * m + m * d * m + m * d
+        );
+        assert_eq!(g.dag.sources().len(), 3 * m * d);
+        assert_eq!(g.dag.sinks().len(), m * d);
+        // Output node O_{i,k} aggregates over j = m values.
+        assert_eq!(g.dag.in_degree(g.out[0][0]), m);
+    }
+
+    #[test]
+    fn full_attention_exp_feeds_all_output_columns() {
+        let (m, d) = (3, 2);
+        let g = attention_full(m, d);
+        for i in 0..m {
+            for j in 0..m {
+                // E_{i,j} participates in d output products.
+                assert_eq!(g.dag.out_degree(g.expv[i][j]), d);
+            }
+        }
+    }
+}

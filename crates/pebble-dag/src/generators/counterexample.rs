@@ -1,0 +1,108 @@
+//! The Lemma 5.4 counterexample DAG (Figure 3): the DAG on which the classic
+//! Hong–Kung S-partition bound fails for PRBP.
+//!
+//! Seven source nodes `u1..u7`, seven groups `H1..H7` of `group_size` nodes
+//! each, and a single sink `v`. Node `u_i` has an edge to every node of `H_i`,
+//! and every node of `H_i` has an edge to `v`. With `r = 3`, PRBP pebbles the
+//! whole DAG at the trivial cost of 8, yet every 6-partition needs Θ(n)
+//! classes.
+
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::NodeId;
+
+/// Number of source nodes / groups in the construction (fixed to 7 as in the
+/// paper, which makes a size-6 = 2r dominator for the sink class impossible
+/// with r = 3).
+pub const GROUP_COUNT: usize = 7;
+
+/// The Figure 3 counterexample DAG.
+#[derive(Debug, Clone)]
+pub struct CounterexampleDag {
+    /// The DAG.
+    pub dag: Dag,
+    /// The 7 source nodes `u1..u7`.
+    pub sources: Vec<NodeId>,
+    /// The 7 groups; `groups[i]` has `group_size` nodes fed by `sources[i]`.
+    pub groups: Vec<Vec<NodeId>>,
+    /// The single sink `v`.
+    pub sink: NodeId,
+    /// Number of nodes per group.
+    pub group_size: usize,
+}
+
+/// Build the counterexample DAG with `group_size ≥ 1` nodes in each of the 7
+/// groups.
+pub fn spartition_counterexample(group_size: usize) -> CounterexampleDag {
+    assert!(group_size >= 1);
+    let mut b = DagBuilder::new();
+    let sources: Vec<NodeId> = (0..GROUP_COUNT)
+        .map(|i| b.add_labeled_node(format!("u{}", i + 1)))
+        .collect();
+    let sink = b.add_labeled_node("v");
+    let groups: Vec<Vec<NodeId>> = (0..GROUP_COUNT)
+        .map(|i| {
+            (0..group_size)
+                .map(|j| b.add_labeled_node(format!("h{}_{j}", i + 1)))
+                .collect()
+        })
+        .collect();
+    for (i, group) in groups.iter().enumerate() {
+        for &h in group {
+            b.add_edge(sources[i], h);
+            b.add_edge(h, sink);
+        }
+    }
+    let dag = b.build().expect("counterexample DAG is valid");
+    CounterexampleDag {
+        dag,
+        sources,
+        groups,
+        sink,
+        group_size,
+    }
+}
+
+impl CounterexampleDag {
+    /// The trivial cost of the DAG: 7 source loads + 1 sink save = 8.
+    pub fn trivial_cost(&self) -> usize {
+        GROUP_COUNT + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = spartition_counterexample(5);
+        assert_eq!(g.dag.node_count(), 7 + 1 + 7 * 5);
+        assert_eq!(g.dag.edge_count(), 2 * 7 * 5);
+        assert_eq!(g.dag.sources().len(), 7);
+        assert_eq!(g.dag.sinks(), vec![g.sink]);
+        assert_eq!(g.dag.in_degree(g.sink), 35);
+        assert_eq!(g.trivial_cost(), 8);
+        assert_eq!(g.dag.trivial_cost(), 8);
+    }
+
+    #[test]
+    fn group_members_have_single_source_parent() {
+        let g = spartition_counterexample(3);
+        for (i, group) in g.groups.iter().enumerate() {
+            for &h in group {
+                assert_eq!(g.dag.in_degree(h), 1);
+                assert_eq!(g.dag.out_degree(h), 1);
+                assert!(g.dag.has_edge(g.sources[i], h));
+                assert!(g.dag.has_edge(h, g.sink));
+            }
+        }
+    }
+
+    #[test]
+    fn max_in_degree_exceeds_small_cache() {
+        // The paper notes Δ_in > r for this DAG (r = 3): RBP cannot even
+        // pebble it, PRBP can.
+        let g = spartition_counterexample(2);
+        assert!(g.dag.max_in_degree() > 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! The m-point FFT (butterfly) DAG of Section 6.3.1 / Figure 4.
+//!
+//! The graph has `log2(m) + 1` layers of `m` nodes each. Layer 0 holds the
+//! sources; node `j` of layer `l+1` has incoming edges from nodes `j` and
+//! `j XOR 2^l` of layer `l`. This is the standard iterative butterfly and is
+//! isomorphic to the recursive construction in the paper (two copies of the
+//! m/2-point FFT followed by a combining layer with `i ≡ j (mod m/2)` edges).
+
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::NodeId;
+
+/// The m-point FFT DAG.
+#[derive(Debug, Clone)]
+pub struct FftDag {
+    /// The butterfly DAG.
+    pub dag: Dag,
+    /// Number of points `m` (a power of two).
+    pub m: usize,
+    /// Number of butterfly stages `log2 m`.
+    pub stages: usize,
+    /// `layers[l][j]` is node `j` of layer `l`; layer 0 are sources, layer
+    /// `stages` are sinks.
+    pub layers: Vec<Vec<NodeId>>,
+}
+
+/// Build the m-point FFT DAG. `m` must be a power of two and at least 2.
+pub fn fft(m: usize) -> FftDag {
+    assert!(m >= 2 && m.is_power_of_two(), "m must be a power of two ≥ 2");
+    let stages = m.trailing_zeros() as usize;
+    let mut b = DagBuilder::new();
+    let layers: Vec<Vec<NodeId>> = (0..=stages)
+        .map(|l| {
+            (0..m)
+                .map(|j| b.add_labeled_node(format!("f{l}_{j}")))
+                .collect()
+        })
+        .collect();
+    for l in 0..stages {
+        for j in 0..m {
+            let partner = j ^ (1usize << l);
+            b.add_edge(layers[l][j], layers[l + 1][j]);
+            b.add_edge(layers[l][partner], layers[l + 1][j]);
+        }
+    }
+    let dag = b.build().expect("FFT DAG is valid");
+    FftDag { dag, m, stages, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+    use crate::traversal;
+
+    #[test]
+    fn fft8_shape_matches_figure4() {
+        let g = fft(8);
+        assert_eq!(g.stages, 3);
+        assert_eq!(g.dag.node_count(), 8 * 4);
+        assert_eq!(g.dag.edge_count(), 2 * 8 * 3);
+        assert_eq!(g.dag.sources().len(), 8);
+        assert_eq!(g.dag.sinks().len(), 8);
+        assert_eq!(g.dag.max_in_degree(), 2);
+        assert_eq!(g.dag.max_out_degree(), 2);
+        assert_eq!(topo::depth(&g.dag), 3);
+    }
+
+    #[test]
+    fn every_output_depends_on_every_input() {
+        // The defining property of the butterfly: each sink is reachable from
+        // every source.
+        let g = fft(16);
+        for &src in &g.layers[0] {
+            let reach = traversal::reachable_from(&g.dag, src);
+            for &sink in &g.layers[g.stages] {
+                assert!(reach.contains(sink.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn internal_nodes_have_in_and_out_degree_two() {
+        let g = fft(8);
+        for l in 1..g.stages {
+            for &v in &g.layers[l] {
+                assert_eq!(g.dag.in_degree(v), 2);
+                assert_eq!(g.dag.out_degree(v), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_fft_is_a_single_butterfly() {
+        let g = fft(2);
+        assert_eq!(g.dag.node_count(), 4);
+        assert_eq!(g.dag.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        fft(12);
+    }
+}

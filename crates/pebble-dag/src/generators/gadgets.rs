@@ -1,0 +1,390 @@
+//! Proof gadgets: the Figure 1 gadget and its chained version, the zipper
+//! gadget, the pebble-collection gadget and the pyramid gadget.
+
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::NodeId;
+
+/// The inner 8-node gadget of Figure 1 (without `u0`, `v0` and the dashed
+/// edges), as used by Proposition 4.7.
+///
+/// Structure: `u1, u2` are the entry nodes, `v1, v2` the exit nodes, and
+/// `w1..w4` the internal nodes, with edges
+/// `u1→w1, u1→w2, w1→w3, w2→w3, u1→w4, w3→w4, w4→v1, w4→v2, u2→v1, u2→v2`.
+#[derive(Debug, Clone)]
+pub struct Fig1Gadget {
+    /// The gadget graph (only meaningful for the standalone gadget).
+    pub dag: Dag,
+    /// Entry node u1.
+    pub u1: NodeId,
+    /// Entry node u2.
+    pub u2: NodeId,
+    /// Internal nodes w1..w4.
+    pub w: [NodeId; 4],
+    /// Exit node v1.
+    pub v1: NodeId,
+    /// Exit node v2.
+    pub v2: NodeId,
+}
+
+/// Add the 8 gadget nodes and 10 gadget edges to `b`, reusing `entry` nodes
+/// for (u1, u2) when provided (used when chaining gadgets).
+fn add_fig1_gadget(b: &mut DagBuilder, entry: Option<(NodeId, NodeId)>, tag: &str) -> ([NodeId; 8], [NodeId; 2]) {
+    let (u1, u2) = match entry {
+        Some(pair) => pair,
+        None => (
+            b.add_labeled_node(format!("{tag}u1")),
+            b.add_labeled_node(format!("{tag}u2")),
+        ),
+    };
+    let w1 = b.add_labeled_node(format!("{tag}w1"));
+    let w2 = b.add_labeled_node(format!("{tag}w2"));
+    let w3 = b.add_labeled_node(format!("{tag}w3"));
+    let w4 = b.add_labeled_node(format!("{tag}w4"));
+    let v1 = b.add_labeled_node(format!("{tag}v1"));
+    let v2 = b.add_labeled_node(format!("{tag}v2"));
+    b.add_edge(u1, w1);
+    b.add_edge(u1, w2);
+    b.add_edge(w1, w3);
+    b.add_edge(w2, w3);
+    b.add_edge(u1, w4);
+    b.add_edge(w3, w4);
+    b.add_edge(w4, v1);
+    b.add_edge(u2, v1);
+    b.add_edge(w4, v2);
+    b.add_edge(u2, v2);
+    ([u1, u2, w1, w2, w3, w4, v1, v2], [v1, v2])
+}
+
+/// The standalone inner gadget of Figure 1 (8 nodes, 10 edges). `u1`, `u2`
+/// are sources and `v1`, `v2` are sinks.
+pub fn fig1_gadget() -> Fig1Gadget {
+    let mut b = DagBuilder::new();
+    let (nodes, _) = add_fig1_gadget(&mut b, None, "");
+    let dag = b.build().expect("fig1 gadget is a valid DAG");
+    Fig1Gadget {
+        dag,
+        u1: nodes[0],
+        u2: nodes[1],
+        w: [nodes[2], nodes[3], nodes[4], nodes[5]],
+        v1: nodes[6],
+        v2: nodes[7],
+    }
+}
+
+/// The full Figure 1 DAG of Proposition 4.2: the inner gadget plus the source
+/// `u0` (with edges to `u1`, `u2`) and the sink `v0` (with edges from `v1`,
+/// `v2`). With `r = 4`: `OPT_RBP = 3` but `OPT_PRBP = 2`.
+#[derive(Debug, Clone)]
+pub struct Fig1Dag {
+    /// The 10-node DAG.
+    pub dag: Dag,
+    /// The unique source node u0.
+    pub u0: NodeId,
+    /// Entry node u1.
+    pub u1: NodeId,
+    /// Entry node u2.
+    pub u2: NodeId,
+    /// Internal nodes w1..w4.
+    pub w: [NodeId; 4],
+    /// Exit node v1.
+    pub v1: NodeId,
+    /// Exit node v2.
+    pub v2: NodeId,
+    /// The unique sink node v0.
+    pub v0: NodeId,
+}
+
+/// Build the full Figure 1 DAG (Proposition 4.2).
+pub fn fig1_full() -> Fig1Dag {
+    let mut b = DagBuilder::new();
+    let u0 = b.add_labeled_node("u0");
+    let (nodes, _) = add_fig1_gadget(&mut b, None, "");
+    let v0 = b.add_labeled_node("v0");
+    b.add_edge(u0, nodes[0]);
+    b.add_edge(u0, nodes[1]);
+    b.add_edge(nodes[6], v0);
+    b.add_edge(nodes[7], v0);
+    let dag = b.build().expect("fig1 full DAG is valid");
+    Fig1Dag {
+        dag,
+        u0,
+        u1: nodes[0],
+        u2: nodes[1],
+        w: [nodes[2], nodes[3], nodes[4], nodes[5]],
+        v1: nodes[6],
+        v2: nodes[7],
+        v0,
+    }
+}
+
+/// The Proposition 4.7 construction: `copies` serially concatenated Figure 1
+/// gadgets plus the outer source `u0` and sink `v0`. With `r = 4`:
+/// `OPT_PRBP = 2` but `OPT_RBP ≥ copies + 2`.
+#[derive(Debug, Clone)]
+pub struct ChainedGadgets {
+    /// The resulting DAG (6·copies + 4 nodes).
+    pub dag: Dag,
+    /// The unique source node u0.
+    pub u0: NodeId,
+    /// The unique sink node v0.
+    pub v0: NodeId,
+    /// Per-copy node arrays `[u1, u2, w1, w2, w3, w4, v1, v2]`; copy `i+1`
+    /// shares its `u1, u2` with copy `i`'s `v1, v2`.
+    pub gadgets: Vec<[NodeId; 8]>,
+}
+
+/// Build the Proposition 4.7 chained-gadget DAG with `copies ≥ 1` gadgets.
+pub fn chained_gadgets(copies: usize) -> ChainedGadgets {
+    assert!(copies >= 1, "need at least one gadget copy");
+    let mut b = DagBuilder::new();
+    let u0 = b.add_labeled_node("u0");
+    let mut gadgets = Vec::with_capacity(copies);
+    let mut entry: Option<(NodeId, NodeId)> = None;
+    let mut first_entry = None;
+    let mut last_exit = (NodeId(0), NodeId(0));
+    for i in 0..copies {
+        let (nodes, exit) = add_fig1_gadget(&mut b, entry, &format!("g{i}."));
+        if first_entry.is_none() {
+            first_entry = Some((nodes[0], nodes[1]));
+        }
+        last_exit = (exit[0], exit[1]);
+        entry = Some((exit[0], exit[1]));
+        gadgets.push(nodes);
+    }
+    let v0 = b.add_labeled_node("v0");
+    let (fu1, fu2) = first_entry.unwrap();
+    b.add_edge(u0, fu1);
+    b.add_edge(u0, fu2);
+    b.add_edge(last_exit.0, v0);
+    b.add_edge(last_exit.1, v0);
+    let dag = b.build().expect("chained gadget DAG is valid");
+    ChainedGadgets { dag, u0, v0, gadgets }
+}
+
+/// The zipper gadget of Section 4.2.1 (Figure 2, left): two groups of `d`
+/// source nodes and a chain of `chain_len` nodes, where chain node `i` has
+/// incoming edges from the previous chain node and from *all* nodes of one of
+/// the two groups, alternating between the groups.
+#[derive(Debug, Clone)]
+pub struct Zipper {
+    /// The zipper DAG.
+    pub dag: Dag,
+    /// First source group (used by chain nodes 1, 3, 5, ... counting from 1).
+    pub group_a: Vec<NodeId>,
+    /// Second source group (used by chain nodes 2, 4, 6, ...).
+    pub group_b: Vec<NodeId>,
+    /// The chain nodes in order.
+    pub chain: Vec<NodeId>,
+}
+
+/// Build a zipper gadget with group size `d ≥ 1` and `chain_len ≥ 1` chain
+/// nodes.
+pub fn zipper(d: usize, chain_len: usize) -> Zipper {
+    assert!(d >= 1 && chain_len >= 1);
+    let mut b = DagBuilder::new();
+    let group_a: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("a{i}"))).collect();
+    let group_b: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("b{i}"))).collect();
+    let chain: Vec<NodeId> = (0..chain_len)
+        .map(|i| b.add_labeled_node(format!("c{i}")))
+        .collect();
+    for (i, &c) in chain.iter().enumerate() {
+        if i > 0 {
+            b.add_edge(chain[i - 1], c);
+        }
+        let group = if i % 2 == 0 { &group_a } else { &group_b };
+        for &g in group {
+            b.add_edge(g, c);
+        }
+    }
+    let dag = b.build().expect("zipper DAG is valid");
+    Zipper {
+        dag,
+        group_a,
+        group_b,
+        chain,
+    }
+}
+
+/// The pebble-collection gadget of Section 4.2.3 (Figure 2, right): `d` source
+/// nodes and a chain of `chain_len` nodes, where the `i`-th chain node (from
+/// 1) has incoming edges from the previous chain node and from source
+/// `(i-1) mod d`.
+#[derive(Debug, Clone)]
+pub struct PebbleCollection {
+    /// The gadget DAG.
+    pub dag: Dag,
+    /// The `d` source nodes.
+    pub sources: Vec<NodeId>,
+    /// The chain nodes in order.
+    pub chain: Vec<NodeId>,
+}
+
+/// Build a pebble-collection gadget with `d ≥ 1` sources and `chain_len ≥ 1`
+/// chain nodes.
+pub fn pebble_collection(d: usize, chain_len: usize) -> PebbleCollection {
+    assert!(d >= 1 && chain_len >= 1);
+    let mut b = DagBuilder::new();
+    let sources: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("u{i}"))).collect();
+    let chain: Vec<NodeId> = (0..chain_len)
+        .map(|i| b.add_labeled_node(format!("v{i}")))
+        .collect();
+    for (i, &c) in chain.iter().enumerate() {
+        if i > 0 {
+            b.add_edge(chain[i - 1], c);
+        }
+        b.add_edge(sources[i % d], c);
+    }
+    let dag = b.build().expect("pebble collection DAG is valid");
+    PebbleCollection { dag, sources, chain }
+}
+
+/// The pyramid gadget: `base` source nodes at the bottom; every higher row is
+/// one node narrower and each node has two in-neighbours (the two nodes below
+/// it); the apex is the unique sink.
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    /// The pyramid DAG.
+    pub dag: Dag,
+    /// Rows bottom-up: `rows[0]` are the `base` sources, `rows.last()` is the apex.
+    pub rows: Vec<Vec<NodeId>>,
+}
+
+/// Build a pyramid with `base ≥ 1` source nodes (so `base` rows in total).
+pub fn pyramid(base: usize) -> Pyramid {
+    assert!(base >= 1);
+    let mut b = DagBuilder::new();
+    let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(base);
+    let bottom: Vec<NodeId> = (0..base).map(|i| b.add_labeled_node(format!("p0_{i}"))).collect();
+    rows.push(bottom);
+    for row_idx in 1..base {
+        let width = base - row_idx;
+        let prev = rows.last().unwrap().clone();
+        let row: Vec<NodeId> = (0..width)
+            .map(|i| b.add_labeled_node(format!("p{row_idx}_{i}")))
+            .collect();
+        for (i, &v) in row.iter().enumerate() {
+            b.add_edge(prev[i], v);
+            b.add_edge(prev[i + 1], v);
+        }
+        rows.push(row);
+    }
+    if base == 1 {
+        // A single node would be isolated; give the degenerate pyramid one edge.
+        let apex = b.add_labeled_node("p1_0");
+        b.add_edge(rows[0][0], apex);
+        rows.push(vec![apex]);
+    }
+    let dag = b.build().expect("pyramid DAG is valid");
+    Pyramid { dag, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_gadget_shape() {
+        let g = fig1_gadget();
+        assert_eq!(g.dag.node_count(), 8);
+        assert_eq!(g.dag.edge_count(), 10);
+        assert_eq!(g.dag.sources(), vec![g.u1, g.u2]);
+        assert_eq!(g.dag.sinks(), vec![g.v1, g.v2]);
+        assert_eq!(g.dag.max_in_degree(), 2);
+        assert_eq!(g.dag.max_out_degree(), 3);
+        // u1 is the degree-3 node (w1, w2, w4).
+        assert_eq!(g.dag.out_degree(g.u1), 3);
+    }
+
+    #[test]
+    fn fig1_full_shape() {
+        let g = fig1_full();
+        assert_eq!(g.dag.node_count(), 10);
+        assert_eq!(g.dag.edge_count(), 14);
+        assert_eq!(g.dag.sources(), vec![g.u0]);
+        assert_eq!(g.dag.sinks(), vec![g.v0]);
+        assert_eq!(g.dag.trivial_cost(), 2);
+        assert_eq!(g.dag.max_in_degree(), 2);
+        assert!(g.dag.has_edge(g.u0, g.u1));
+        assert!(g.dag.has_edge(g.u0, g.u2));
+        assert!(g.dag.has_edge(g.v1, g.v0));
+        assert!(g.dag.has_edge(g.v2, g.v0));
+        assert!(g.dag.has_edge(g.w[2], g.w[3])); // w3 -> w4
+    }
+
+    #[test]
+    fn chained_gadgets_shapes() {
+        for copies in 1..=5 {
+            let c = chained_gadgets(copies);
+            // 8 nodes for the first copy, 6 new nodes for each further copy,
+            // plus u0 and v0.
+            assert_eq!(c.dag.node_count(), 8 + 6 * (copies - 1) + 2);
+            assert_eq!(c.dag.edge_count(), 10 * copies + 4);
+            assert_eq!(c.dag.sources(), vec![c.u0]);
+            assert_eq!(c.dag.sinks(), vec![c.v0]);
+            assert_eq!(c.dag.max_in_degree(), 2);
+            assert_eq!(c.dag.max_out_degree(), 3);
+            assert_eq!(c.gadgets.len(), copies);
+        }
+    }
+
+    #[test]
+    fn chained_gadgets_share_boundary_nodes() {
+        let c = chained_gadgets(3);
+        for i in 1..3 {
+            assert_eq!(c.gadgets[i][0], c.gadgets[i - 1][6]); // u1 of i == v1 of i-1
+            assert_eq!(c.gadgets[i][1], c.gadgets[i - 1][7]); // u2 of i == v2 of i-1
+        }
+    }
+
+    #[test]
+    fn zipper_shape() {
+        let d = 4;
+        let len = 6;
+        let z = zipper(d, len);
+        assert_eq!(z.dag.node_count(), 2 * d + len);
+        // Chain node 0 has d in-edges, every later one has d + 1.
+        assert_eq!(z.dag.edge_count(), d + (len - 1) * (d + 1));
+        assert_eq!(z.dag.sources().len(), 2 * d);
+        assert_eq!(z.dag.sinks(), vec![*z.chain.last().unwrap()]);
+        assert_eq!(z.dag.max_in_degree(), d + 1);
+        assert_eq!(z.dag.in_degree(z.chain[0]), d);
+        // Alternation: chain[0] reads group A, chain[1] reads group B.
+        assert!(z.dag.has_edge(z.group_a[0], z.chain[0]));
+        assert!(!z.dag.has_edge(z.group_b[0], z.chain[0]));
+        assert!(z.dag.has_edge(z.group_b[0], z.chain[1]));
+    }
+
+    #[test]
+    fn pebble_collection_shape() {
+        let d = 3;
+        let len = 10;
+        let p = pebble_collection(d, len);
+        assert_eq!(p.dag.node_count(), d + len);
+        assert_eq!(p.dag.edge_count(), len + (len - 1));
+        assert_eq!(p.dag.sources().len(), d);
+        assert_eq!(p.dag.sinks(), vec![*p.chain.last().unwrap()]);
+        // chain node i reads source i mod d.
+        assert!(p.dag.has_edge(p.sources[0], p.chain[0]));
+        assert!(p.dag.has_edge(p.sources[1], p.chain[1]));
+        assert!(p.dag.has_edge(p.sources[0], p.chain[3]));
+        assert_eq!(p.dag.max_in_degree(), 2);
+    }
+
+    #[test]
+    fn pyramid_shape() {
+        let p = pyramid(4);
+        assert_eq!(p.rows.len(), 4);
+        assert_eq!(p.dag.node_count(), 4 + 3 + 2 + 1);
+        assert_eq!(p.dag.edge_count(), 2 * (3 + 2 + 1));
+        assert_eq!(p.dag.sources().len(), 4);
+        assert_eq!(p.dag.sinks().len(), 1);
+        assert_eq!(p.dag.max_in_degree(), 2);
+    }
+
+    #[test]
+    fn degenerate_pyramid_is_single_edge() {
+        let p = pyramid(1);
+        assert_eq!(p.dag.node_count(), 2);
+        assert_eq!(p.dag.edge_count(), 1);
+    }
+}

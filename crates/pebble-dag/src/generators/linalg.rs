@@ -1,0 +1,233 @@
+//! Linear-algebra DAGs: matrix–vector multiplication (Proposition 4.3) and
+//! standard matrix–matrix multiplication (Theorem 6.10).
+
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::NodeId;
+
+/// The computational DAG of `y = A·x` for an `m×m` matrix: `m² + m` sources
+/// (matrix and vector entries), `m²` product nodes of in-degree 2, and `m`
+/// sink nodes of in-degree `m`.
+#[derive(Debug, Clone)]
+pub struct MatVecDag {
+    /// The DAG.
+    pub dag: Dag,
+    /// Dimension `m`.
+    pub m: usize,
+    /// `a[j][i]` is the source node for the matrix entry `A_{j,i}` (row j, column i).
+    pub a: Vec<Vec<NodeId>>,
+    /// `x[i]` is the source node for the vector entry `x_i`.
+    pub x: Vec<NodeId>,
+    /// `prod[j][i]` is the product node `A_{j,i}·x_i`.
+    pub prod: Vec<Vec<NodeId>>,
+    /// `y[j]` is the sink node for the output entry `y_j`.
+    pub y: Vec<NodeId>,
+}
+
+/// Build the matrix–vector multiplication DAG for dimension `m ≥ 1`.
+pub fn matvec(m: usize) -> MatVecDag {
+    assert!(m >= 1);
+    let mut b = DagBuilder::new();
+    let a: Vec<Vec<NodeId>> = (0..m)
+        .map(|j| {
+            (0..m)
+                .map(|i| b.add_labeled_node(format!("A{j}_{i}")))
+                .collect()
+        })
+        .collect();
+    let x: Vec<NodeId> = (0..m).map(|i| b.add_labeled_node(format!("x{i}"))).collect();
+    let prod: Vec<Vec<NodeId>> = (0..m)
+        .map(|j| {
+            (0..m)
+                .map(|i| b.add_labeled_node(format!("p{j}_{i}")))
+                .collect()
+        })
+        .collect();
+    let y: Vec<NodeId> = (0..m).map(|j| b.add_labeled_node(format!("y{j}"))).collect();
+    for j in 0..m {
+        for i in 0..m {
+            b.add_edge(a[j][i], prod[j][i]);
+            b.add_edge(x[i], prod[j][i]);
+            b.add_edge(prod[j][i], y[j]);
+        }
+    }
+    let dag = b.build().expect("matvec DAG is valid");
+    MatVecDag { dag, m, a, x, prod, y }
+}
+
+impl MatVecDag {
+    /// The trivial I/O cost `m² + 2m` (all sources loaded + all sinks saved).
+    pub fn trivial_cost(&self) -> usize {
+        self.m * self.m + 2 * self.m
+    }
+
+    /// The RBP lower bound `m² + 3m − 1` of Proposition 4.3
+    /// (valid for `m ≥ 3` and `m + 3 ≤ r ≤ 2m`).
+    pub fn rbp_lower_bound(&self) -> usize {
+        self.m * self.m + 3 * self.m - 1
+    }
+}
+
+/// The computational DAG of standard (classical) matrix multiplication
+/// `C = A·B` with `A ∈ m1×m2`, `B ∈ m2×m3`: `m1·m2 + m2·m3` sources,
+/// `m1·m2·m3` product nodes of in-degree 2 and out-degree 1, and `m1·m3`
+/// sink nodes of in-degree `m2`.
+#[derive(Debug, Clone)]
+pub struct MatMulDag {
+    /// The DAG.
+    pub dag: Dag,
+    /// Dimensions (m1, m2, m3).
+    pub dims: (usize, usize, usize),
+    /// `a[i][k]` is the source for `A_{i,k}`.
+    pub a: Vec<Vec<NodeId>>,
+    /// `b[k][j]` is the source for `B_{k,j}`.
+    pub b: Vec<Vec<NodeId>>,
+    /// `prod[i][j][k]` is the product node `A_{i,k}·B_{k,j}`.
+    pub prod: Vec<Vec<Vec<NodeId>>>,
+    /// `c[i][j]` is the sink for `C_{i,j}`.
+    pub c: Vec<Vec<NodeId>>,
+}
+
+/// Build the standard matrix-multiplication DAG for `A ∈ m1×m2`, `B ∈ m2×m3`.
+pub fn matmul(m1: usize, m2: usize, m3: usize) -> MatMulDag {
+    assert!(m1 >= 1 && m2 >= 1 && m3 >= 1);
+    let mut bld = DagBuilder::new();
+    let a: Vec<Vec<NodeId>> = (0..m1)
+        .map(|i| {
+            (0..m2)
+                .map(|k| bld.add_labeled_node(format!("A{i}_{k}")))
+                .collect()
+        })
+        .collect();
+    let b: Vec<Vec<NodeId>> = (0..m2)
+        .map(|k| {
+            (0..m3)
+                .map(|j| bld.add_labeled_node(format!("B{k}_{j}")))
+                .collect()
+        })
+        .collect();
+    let prod: Vec<Vec<Vec<NodeId>>> = (0..m1)
+        .map(|i| {
+            (0..m3)
+                .map(|j| {
+                    (0..m2)
+                        .map(|k| bld.add_labeled_node(format!("p{i}_{j}_{k}")))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let c: Vec<Vec<NodeId>> = (0..m1)
+        .map(|i| {
+            (0..m3)
+                .map(|j| bld.add_labeled_node(format!("C{i}_{j}")))
+                .collect()
+        })
+        .collect();
+    for i in 0..m1 {
+        for j in 0..m3 {
+            for k in 0..m2 {
+                bld.add_edge(a[i][k], prod[i][j][k]);
+                bld.add_edge(b[k][j], prod[i][j][k]);
+                bld.add_edge(prod[i][j][k], c[i][j]);
+            }
+        }
+    }
+    let dag = bld.build().expect("matmul DAG is valid");
+    MatMulDag {
+        dag,
+        dims: (m1, m2, m3),
+        a,
+        b,
+        prod,
+        c,
+    }
+}
+
+impl MatMulDag {
+    /// Number of elementary multiplications `m1·m2·m3`.
+    pub fn multiplications(&self) -> usize {
+        self.dims.0 * self.dims.1 * self.dims.2
+    }
+
+    /// The trivial I/O cost: `m1·m2 + m2·m3` source loads plus `m1·m3` sink saves.
+    pub fn trivial_cost(&self) -> usize {
+        let (m1, m2, m3) = self.dims;
+        m1 * m2 + m2 * m3 + m1 * m3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_shape() {
+        let m = 4;
+        let g = matvec(m);
+        assert_eq!(g.dag.node_count(), m * m + m + m * m + m);
+        assert_eq!(g.dag.edge_count(), 3 * m * m);
+        assert_eq!(g.dag.sources().len(), m * m + m);
+        assert_eq!(g.dag.sinks().len(), m);
+        assert_eq!(g.dag.max_in_degree(), m);
+        assert_eq!(g.dag.trivial_cost(), g.trivial_cost());
+        assert_eq!(g.trivial_cost(), m * m + 2 * m);
+        assert_eq!(g.rbp_lower_bound(), m * m + 3 * m - 1);
+    }
+
+    #[test]
+    fn matvec_wiring() {
+        let g = matvec(3);
+        for j in 0..3 {
+            for i in 0..3 {
+                assert!(g.dag.has_edge(g.a[j][i], g.prod[j][i]));
+                assert!(g.dag.has_edge(g.x[i], g.prod[j][i]));
+                assert!(g.dag.has_edge(g.prod[j][i], g.y[j]));
+                assert!(!g.dag.has_edge(g.x[i], g.y[j]));
+            }
+        }
+        assert_eq!(g.dag.in_degree(g.y[0]), 3);
+        assert_eq!(g.dag.in_degree(g.prod[1][2]), 2);
+        assert_eq!(g.dag.out_degree(g.x[0]), 3);
+    }
+
+    #[test]
+    fn matmul_shape() {
+        let (m1, m2, m3) = (2, 3, 4);
+        let g = matmul(m1, m2, m3);
+        assert_eq!(
+            g.dag.node_count(),
+            m1 * m2 + m2 * m3 + m1 * m2 * m3 + m1 * m3
+        );
+        assert_eq!(g.dag.edge_count(), 3 * m1 * m2 * m3);
+        assert_eq!(g.dag.sources().len(), m1 * m2 + m2 * m3);
+        assert_eq!(g.dag.sinks().len(), m1 * m3);
+        assert_eq!(g.dag.max_in_degree(), m2);
+        assert_eq!(g.multiplications(), 24);
+        assert_eq!(g.trivial_cost(), m1 * m2 + m2 * m3 + m1 * m3);
+    }
+
+    #[test]
+    fn matmul_product_nodes_have_out_degree_one() {
+        let g = matmul(2, 2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    assert_eq!(g.dag.out_degree(g.prod[i][j][k]), 1);
+                    assert_eq!(g.dag.in_degree(g.prod[i][j][k]), 2);
+                    assert!(g.dag.has_edge(g.prod[i][j][k], g.c[i][j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn square_matmul_matches_matvec_when_m3_is_one() {
+        // Matrix-vector multiplication is the m3 = 1 special case (paper, end of §6.3.2).
+        let mm = matmul(3, 3, 1);
+        let mv = matvec(3);
+        assert_eq!(mm.dag.node_count(), mv.dag.node_count());
+        assert_eq!(mm.dag.edge_count(), mv.dag.edge_count());
+        assert_eq!(mm.dag.sources().len(), mv.dag.sources().len());
+        assert_eq!(mm.dag.sinks().len(), mv.dag.sinks().len());
+    }
+}

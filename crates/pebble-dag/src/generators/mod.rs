@@ -1,0 +1,35 @@
+//! Generators for every DAG family used in the paper.
+//!
+//! | Generator | Paper reference |
+//! |---|---|
+//! | [`fig1_gadget`], [`fig1_full`] | Figure 1, Proposition 4.2 |
+//! | [`chained_gadgets`] | Proposition 4.7 (linear-factor gap) |
+//! | [`zipper`] | Section 4.2.1, Figure 2 (left) |
+//! | [`binary_tree`], [`kary_tree`] | Section 4.2.2, Figure 2 (middle), Appendix A.2 |
+//! | [`pebble_collection`] | Section 4.2.3, Figure 2 (right), Proposition 4.6 |
+//! | [`pyramid`] | Section 4.2.3 (pyramid gadget of [8, 19]) |
+//! | [`matvec`] | Proposition 4.3 |
+//! | [`matmul`] | Theorem 6.10 |
+//! | [`fft`] | Section 6.3.1, Figure 4, Theorem 6.9 |
+//! | [`attention_qk`], [`attention_full`] | Section 6.3.3, Theorem 6.11 |
+//! | [`spartition_counterexample`] | Figure 3, Lemma 5.4 |
+//! | [`random_layered`] | randomised testing |
+
+mod attention;
+mod counterexample;
+mod fft;
+mod gadgets;
+mod linalg;
+mod random;
+mod trees;
+
+pub use attention::{attention_full, attention_qk, AttentionDag, AttentionFullDag};
+pub use counterexample::{spartition_counterexample, CounterexampleDag};
+pub use fft::{fft, FftDag};
+pub use gadgets::{
+    chained_gadgets, fig1_full, fig1_gadget, pebble_collection, pyramid, zipper, ChainedGadgets,
+    Fig1Dag, Fig1Gadget, PebbleCollection, Pyramid, Zipper,
+};
+pub use linalg::{matmul, matvec, MatMulDag, MatVecDag};
+pub use random::{random_layered, RandomLayeredConfig};
+pub use trees::{binary_tree, kary_tree, KaryTree};

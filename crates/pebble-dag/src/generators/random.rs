@@ -1,0 +1,128 @@
+//! Seeded random layered DAGs, used for property-based testing and the
+//! scaling benchmarks. All randomness is driven by a caller-provided seed so
+//! every workload is reproducible.
+
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::NodeId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`random_layered`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomLayeredConfig {
+    /// Number of layers (≥ 2).
+    pub layers: usize,
+    /// Nodes per layer (≥ 1).
+    pub width: usize,
+    /// Maximum in-degree of a non-source node (≥ 1); actual in-degree is
+    /// sampled uniformly from `1..=max_in_degree`, capped by the width of the
+    /// previous layer.
+    pub max_in_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomLayeredConfig {
+    fn default() -> Self {
+        RandomLayeredConfig {
+            layers: 4,
+            width: 8,
+            max_in_degree: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generate a random layered DAG: `layers × width` nodes; every node in layer
+/// `l > 0` draws between 1 and `max_in_degree` distinct predecessors from
+/// layer `l − 1`. Every non-final-layer node is guaranteed at least one
+/// successor, so the DAG has no isolated or dead-end intermediate nodes.
+pub fn random_layered(cfg: RandomLayeredConfig) -> Dag {
+    assert!(cfg.layers >= 2 && cfg.width >= 1 && cfg.max_in_degree >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut b = DagBuilder::new();
+    let layers: Vec<Vec<NodeId>> = (0..cfg.layers)
+        .map(|l| {
+            (0..cfg.width)
+                .map(|i| b.add_labeled_node(format!("r{l}_{i}")))
+                .collect()
+        })
+        .collect();
+    for l in 1..cfg.layers {
+        let prev = &layers[l - 1];
+        let mut used_prev = vec![false; prev.len()];
+        for &v in &layers[l] {
+            let deg = rng.gen_range(1..=cfg.max_in_degree.min(prev.len()));
+            let mut parents: Vec<usize> = (0..prev.len()).collect();
+            parents.shuffle(&mut rng);
+            for &p in parents.iter().take(deg) {
+                b.add_edge(prev[p], v);
+                used_prev[p] = true;
+            }
+        }
+        // Ensure every node of the previous layer has at least one successor.
+        for (p, used) in used_prev.iter().enumerate() {
+            if !used {
+                let target = layers[l][rng.gen_range(0..cfg.width)];
+                b.add_edge(prev[p], target);
+            }
+        }
+    }
+    b.build().expect("random layered DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = RandomLayeredConfig::default();
+        let a = random_layered(cfg);
+        let b = random_layered(cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for e in a.edges() {
+            assert_eq!(a.edge_endpoints(e), b.edge_endpoints(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let a = random_layered(RandomLayeredConfig { seed: 1, ..Default::default() });
+        let b = random_layered(RandomLayeredConfig { seed: 2, ..Default::default() });
+        let edges_a: Vec<_> = a.edges().map(|e| a.edge_endpoints(e)).collect();
+        let edges_b: Vec<_> = b.edges().map(|e| b.edge_endpoints(e)).collect();
+        assert_ne!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn respects_configuration() {
+        let cfg = RandomLayeredConfig {
+            layers: 5,
+            width: 6,
+            max_in_degree: 2,
+            seed: 42,
+        };
+        let g = random_layered(cfg);
+        assert_eq!(g.node_count(), 30);
+        assert!(g.max_in_degree() <= 2);
+        assert_eq!(topo::depth(&g), 4);
+        // Sources are exactly layer 0.
+        assert_eq!(g.sources().len(), 6);
+        // No intermediate node is a sink: sinks live only in the last layer.
+        assert!(g.sinks().iter().all(|s| s.index() >= 4 * 6));
+    }
+
+    #[test]
+    fn first_layer_nodes_all_have_successors() {
+        for seed in 0..10 {
+            let g = random_layered(RandomLayeredConfig { seed, ..Default::default() });
+            for v in g.sources() {
+                assert!(g.out_degree(v) >= 1);
+            }
+        }
+    }
+}

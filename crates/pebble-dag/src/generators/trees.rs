@@ -1,0 +1,130 @@
+//! Rooted in-trees: binary and k-ary reduction trees (Section 4.2.2,
+//! Appendix A.2). Leaves are sources, the root is the unique sink and every
+//! internal node has exactly `k` distinct in-neighbours.
+
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::NodeId;
+
+/// A depth-`d` k-ary reduction tree with `k^d` leaves and all edges pointing
+/// towards the root.
+#[derive(Debug, Clone)]
+pub struct KaryTree {
+    /// The tree DAG.
+    pub dag: Dag,
+    /// Arity `k`.
+    pub k: usize,
+    /// Depth `d` (number of edge levels from leaf to root).
+    pub depth: usize,
+    /// Nodes by level: `levels[0]` is the root, `levels[d]` are the `k^d` leaves.
+    pub levels: Vec<Vec<NodeId>>,
+    /// The root node (unique sink).
+    pub root: NodeId,
+}
+
+impl KaryTree {
+    /// The leaves (sources) of the tree.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.levels[self.depth]
+    }
+
+    /// The `j`-th child (in-neighbour) of the `i`-th node on level `level`
+    /// lives at level `level + 1`, position `i * k + j`.
+    pub fn child(&self, level: usize, i: usize, j: usize) -> NodeId {
+        self.levels[level + 1][i * self.k + j]
+    }
+}
+
+/// Build a k-ary reduction tree of depth `d ≥ 1` with arity `k ≥ 2`.
+pub fn kary_tree(k: usize, depth: usize) -> KaryTree {
+    assert!(k >= 2, "arity must be at least 2");
+    assert!(depth >= 1, "depth must be at least 1");
+    let mut b = DagBuilder::new();
+    // Create nodes level by level from the root downwards so the leaves get
+    // the largest ids; edges point child -> parent.
+    let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(depth + 1);
+    for level in 0..=depth {
+        let count = k.pow(level as u32);
+        let row: Vec<NodeId> = (0..count)
+            .map(|i| b.add_labeled_node(format!("t{level}_{i}")))
+            .collect();
+        levels.push(row);
+    }
+    for level in 0..depth {
+        for i in 0..levels[level].len() {
+            for j in 0..k {
+                b.add_edge(levels[level + 1][i * k + j], levels[level][i]);
+            }
+        }
+    }
+    let root = levels[0][0];
+    let dag = b.build().expect("k-ary tree is a valid DAG");
+    KaryTree {
+        dag,
+        k,
+        depth,
+        levels,
+        root,
+    }
+}
+
+/// Build a binary reduction tree of depth `d ≥ 1` ( `2^d` leaves).
+pub fn binary_tree(depth: usize) -> crate::graph::Dag {
+    kary_tree(2, depth).dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn binary_tree_counts() {
+        for d in 1..=5usize {
+            let t = kary_tree(2, d);
+            let expected_nodes = (2usize.pow(d as u32 + 1)) - 1;
+            assert_eq!(t.dag.node_count(), expected_nodes);
+            assert_eq!(t.dag.edge_count(), expected_nodes - 1);
+            assert_eq!(t.dag.sources().len(), 2usize.pow(d as u32));
+            assert_eq!(t.dag.sinks(), vec![t.root]);
+            assert_eq!(t.dag.max_in_degree(), 2);
+            assert_eq!(t.dag.max_out_degree(), 1);
+            assert_eq!(topo::depth(&t.dag), d);
+        }
+    }
+
+    #[test]
+    fn ternary_tree_counts() {
+        let t = kary_tree(3, 3);
+        assert_eq!(t.dag.sources().len(), 27);
+        assert_eq!(t.dag.node_count(), 1 + 3 + 9 + 27);
+        assert_eq!(t.dag.max_in_degree(), 3);
+        assert_eq!(t.leaves().len(), 27);
+    }
+
+    #[test]
+    fn child_accessor_matches_edges() {
+        let t = kary_tree(2, 3);
+        for level in 0..t.depth {
+            for (i, &parent) in t.levels[level].iter().enumerate() {
+                for j in 0..t.k {
+                    let child = t.child(level, i, j);
+                    assert!(t.dag.has_edge(child, parent));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_helper_matches_kary() {
+        let d = binary_tree(4);
+        let t = kary_tree(2, 4);
+        assert_eq!(d.node_count(), t.dag.node_count());
+        assert_eq!(d.edge_count(), t.dag.edge_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_arity_one() {
+        kary_tree(1, 3);
+    }
+}

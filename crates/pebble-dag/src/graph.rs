@@ -1,0 +1,471 @@
+//! Immutable computational DAGs in CSR (compressed sparse row) form.
+//!
+//! A [`Dag`] is built once via [`DagBuilder`] and never mutated afterwards.
+//! Both the out-adjacency and the in-adjacency are stored as CSR arrays so
+//! that pebbling simulators can walk predecessors and successors without any
+//! per-node allocation. Edges carry stable [`EdgeId`]s (assigned in insertion
+//! order) because the partial-computing game marks *edges*, not nodes.
+
+use crate::bitset::BitSet;
+use crate::ids::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors reported by [`DagBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge references a node id that was never added.
+    UnknownNode(NodeId),
+    /// A self-loop `(v, v)` was added.
+    SelfLoop(NodeId),
+    /// The same directed edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge set contains a directed cycle.
+    Cycle,
+    /// The graph contains a node with neither incoming nor outgoing edges.
+    IsolatedNode(NodeId),
+    /// The graph has no nodes at all.
+    Empty,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownNode(v) => write!(f, "edge references unknown node {v:?}"),
+            DagError::SelfLoop(v) => write!(f, "self-loop on node {v:?}"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u:?}, {v:?})"),
+            DagError::Cycle => write!(f, "edge set contains a directed cycle"),
+            DagError::IsolatedNode(v) => write!(f, "node {v:?} is isolated (no edges)"),
+            DagError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Incremental builder for [`Dag`].
+///
+/// Nodes are created with [`DagBuilder::add_node`] (optionally labelled) and
+/// edges with [`DagBuilder::add_edge`]. [`DagBuilder::build`] validates the
+/// result: no self-loops, no duplicate edges, no cycles, no isolated nodes
+/// (the paper assumes DAGs without isolated nodes).
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    labels: Vec<String>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with an empty label; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.add_labeled_node(String::new())
+    }
+
+    /// Add a node carrying a human-readable label; returns its id.
+    pub fn add_labeled_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId::from_index(self.labels.len());
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Add `count` unlabelled nodes, returning their ids in order.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Add a directed edge `(u, v)`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.edges.push((u, v));
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validate and freeze into a [`Dag`].
+    pub fn build(self) -> Result<Dag, DagError> {
+        let n = self.labels.len();
+        if n == 0 {
+            return Err(DagError::Empty);
+        }
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        for &(u, v) in &self.edges {
+            if u.index() >= n {
+                return Err(DagError::UnknownNode(u));
+            }
+            if v.index() >= n {
+                return Err(DagError::UnknownNode(v));
+            }
+            if u == v {
+                return Err(DagError::SelfLoop(u));
+            }
+            if !seen.insert((u, v)) {
+                return Err(DagError::DuplicateEdge(u, v));
+            }
+        }
+
+        // Degree counts.
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            out_deg[u.index()] += 1;
+            in_deg[v.index()] += 1;
+        }
+        for i in 0..n {
+            if out_deg[i] == 0 && in_deg[i] == 0 {
+                return Err(DagError::IsolatedNode(NodeId::from_index(i)));
+            }
+        }
+
+        // CSR offsets for out- and in-adjacency. The adjacency entries store
+        // (neighbour, edge id) pairs so the PRBP engine can translate between
+        // node pairs and edge ids without a hash lookup.
+        let m = self.edges.len();
+        let mut out_off = vec![0usize; n + 1];
+        let mut in_off = vec![0usize; n + 1];
+        for &(u, v) in &self.edges {
+            out_off[u.index() + 1] += 1;
+            in_off[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_off[i + 1] += out_off[i];
+            in_off[i + 1] += in_off[i];
+        }
+        let mut out_adj = vec![(NodeId(0), EdgeId(0)); m];
+        let mut in_adj = vec![(NodeId(0), EdgeId(0)); m];
+        let mut out_cursor = out_off.clone();
+        let mut in_cursor = in_off.clone();
+        let mut edge_endpoints = Vec::with_capacity(m);
+        for (ei, &(u, v)) in self.edges.iter().enumerate() {
+            let e = EdgeId::from_index(ei);
+            out_adj[out_cursor[u.index()]] = (v, e);
+            out_cursor[u.index()] += 1;
+            in_adj[in_cursor[v.index()]] = (u, e);
+            in_cursor[v.index()] += 1;
+            edge_endpoints.push((u, v));
+        }
+
+        let dag = Dag {
+            labels: self.labels,
+            out_off,
+            out_adj,
+            in_off,
+            in_adj,
+            edge_endpoints,
+        };
+
+        // Cycle check via Kahn's algorithm.
+        if dag.topological_order_internal().is_none() {
+            return Err(DagError::Cycle);
+        }
+        Ok(dag)
+    }
+}
+
+/// An immutable computational DAG.
+///
+/// Nodes are `NodeId(0) .. NodeId(n-1)`; edges are `EdgeId(0) .. EdgeId(m-1)`
+/// in insertion order. Source nodes (in-degree 0) are the inputs of the
+/// computation; sink nodes (out-degree 0) are its outputs.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Dag {
+    labels: Vec<String>,
+    out_off: Vec<usize>,
+    out_adj: Vec<(NodeId, EdgeId)>,
+    in_off: Vec<usize>,
+    in_adj: Vec<(NodeId, EdgeId)>,
+    edge_endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl Dag {
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_endpoints.len()
+    }
+
+    /// Iterate over all node ids in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// Iterate over all edge ids in increasing order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count()).map(EdgeId::from_index)
+    }
+
+    /// The `(source, target)` endpoints of an edge.
+    #[inline]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edge_endpoints[e.index()]
+    }
+
+    /// The label attached to a node (may be empty).
+    pub fn label(&self, v: NodeId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// Out-neighbours of `v` together with the connecting edge ids.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.out_adj[self.out_off[v.index()]..self.out_off[v.index() + 1]]
+    }
+
+    /// In-neighbours of `v` together with the connecting edge ids.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.in_adj[self.in_off[v.index()]..self.in_off[v.index() + 1]]
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn successors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(v).iter().map(|&(w, _)| w)
+    }
+
+    /// In-neighbours of `v`.
+    pub fn predecessors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(v).iter().map(|&(u, _)| u)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_off[v.index() + 1] - self.out_off[v.index()]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_off[v.index() + 1] - self.in_off[v.index()]
+    }
+
+    /// Returns `true` if `v` has no incoming edges (an input of the computation).
+    #[inline]
+    pub fn is_source(&self, v: NodeId) -> bool {
+        self.in_degree(v) == 0
+    }
+
+    /// Returns `true` if `v` has no outgoing edges (an output of the computation).
+    #[inline]
+    pub fn is_sink(&self, v: NodeId) -> bool {
+        self.out_degree(v) == 0
+    }
+
+    /// All source nodes in increasing id order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.is_source(v)).collect()
+    }
+
+    /// All sink nodes in increasing id order.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.is_sink(v)).collect()
+    }
+
+    /// Maximum in-degree Δ_in over all nodes.
+    pub fn max_in_degree(&self) -> usize {
+        self.nodes().map(|v| self.in_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Maximum out-degree Δ_out over all nodes.
+    pub fn max_out_degree(&self) -> usize {
+        self.nodes().map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// The *trivial cost* `t`: number of sources plus number of sinks. Every
+    /// valid pebbling (in RBP or PRBP) loads each source and saves each sink
+    /// at least once, so `OPT ≥ t`.
+    pub fn trivial_cost(&self) -> usize {
+        self.nodes()
+            .filter(|&v| self.is_source(v) || self.is_sink(v))
+            .count()
+    }
+
+    /// Look up the edge id for the pair `(u, v)`, if the edge exists.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.out_edges(u)
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
+    }
+
+    /// Returns `true` if the directed edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// A fresh, empty node set sized for this graph.
+    pub fn node_set(&self) -> BitSet {
+        BitSet::new(self.node_count())
+    }
+
+    /// A fresh, empty edge set sized for this graph.
+    pub fn edge_set(&self) -> BitSet {
+        BitSet::new(self.edge_count())
+    }
+
+    pub(crate) fn topological_order_internal(&self) -> Option<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut in_deg: Vec<usize> = (0..n).map(|i| self.in_degree(NodeId::from_index(i))).collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|&v| in_deg[v.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for &(w, _) in self.out_edges(v) {
+                in_deg[w.index()] -= 1;
+                if in_deg[w.index()] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dag {{ nodes: {}, edges: {}, sources: {}, sinks: {} }}",
+            self.node_count(),
+            self.edge_count(),
+            self.sources().len(),
+            self.sinks().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // a -> b -> d, a -> c -> d
+        let mut b = DagBuilder::new();
+        let a = b.add_labeled_node("a");
+        let bb = b.add_labeled_node("b");
+        let c = b.add_labeled_node("c");
+        let d = b.add_labeled_node("d");
+        b.add_edge(a, bb);
+        b.add_edge(a, c);
+        b.add_edge(bb, d);
+        b.add_edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources(), vec![NodeId(0)]);
+        assert_eq!(g.sinks(), vec![NodeId(3)]);
+        assert_eq!(g.max_in_degree(), 2);
+        assert_eq!(g.max_out_degree(), 2);
+        assert_eq!(g.trivial_cost(), 2);
+        assert_eq!(g.label(NodeId(1)), "b");
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn edge_endpoints_match_adjacency() {
+        let g = diamond();
+        for e in g.edges() {
+            let (u, v) = g.edge_endpoints(e);
+            assert!(g.out_edges(u).iter().any(|&(w, ee)| w == v && ee == e));
+            assert!(g.in_edges(v).iter().any(|&(w, ee)| w == u && ee == e));
+        }
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node();
+        let y = b.add_node();
+        b.add_edge(x, y);
+        b.add_edge(y, x);
+        assert_eq!(b.build().unwrap_err(), DagError::Cycle);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node();
+        let y = b.add_node();
+        b.add_edge(x, y);
+        b.add_edge(x, x);
+        assert_eq!(b.build().unwrap_err(), DagError::SelfLoop(x));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node();
+        let y = b.add_node();
+        b.add_edge(x, y);
+        b.add_edge(x, y);
+        assert_eq!(b.build().unwrap_err(), DagError::DuplicateEdge(x, y));
+    }
+
+    #[test]
+    fn rejects_isolated_node() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node();
+        let y = b.add_node();
+        let _z = b.add_node();
+        b.add_edge(x, y);
+        assert_eq!(b.build().unwrap_err(), DagError::IsolatedNode(NodeId(2)));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = DagBuilder::new();
+        let x = b.add_node();
+        b.add_edge(x, NodeId(5));
+        assert_eq!(b.build().unwrap_err(), DagError::UnknownNode(NodeId(5)));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(DagBuilder::new().build().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.sources(), g.sources());
+        assert_eq!(back.sinks(), g.sinks());
+    }
+}

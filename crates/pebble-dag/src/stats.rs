@@ -1,0 +1,103 @@
+//! Structural summaries of DAGs, used by the experiment tables.
+
+use crate::graph::Dag;
+use crate::topo;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structural summary of a computational DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagStats {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of edges `m`.
+    pub edges: usize,
+    /// Number of source nodes.
+    pub sources: usize,
+    /// Number of sink nodes.
+    pub sinks: usize,
+    /// Maximum in-degree Δ_in.
+    pub max_in_degree: usize,
+    /// Maximum out-degree Δ_out.
+    pub max_out_degree: usize,
+    /// Longest path length (edges).
+    pub depth: usize,
+    /// Trivial I/O cost: sources + sinks.
+    pub trivial_cost: usize,
+}
+
+impl DagStats {
+    /// Compute the summary for a DAG.
+    pub fn of(dag: &Dag) -> Self {
+        DagStats {
+            nodes: dag.node_count(),
+            edges: dag.edge_count(),
+            sources: dag.sources().len(),
+            sinks: dag.sinks().len(),
+            max_in_degree: dag.max_in_degree(),
+            max_out_degree: dag.max_out_degree(),
+            depth: topo::depth(dag),
+            trivial_cost: dag.trivial_cost(),
+        }
+    }
+
+    /// Smallest cache size for which an RBP pebbling exists: `Δ_in + 1`.
+    pub fn min_rbp_cache(&self) -> usize {
+        self.max_in_degree + 1
+    }
+}
+
+impl fmt::Display for DagStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} m={} sources={} sinks={} Δin={} Δout={} depth={} trivial={}",
+            self.nodes,
+            self.edges,
+            self.sources,
+            self.sinks,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.depth,
+            self.trivial_cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    #[test]
+    fn stats_of_diamond() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let x = b.add_node();
+        let y = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, d);
+        b.add_edge(y, d);
+        let g = b.build().unwrap();
+        let s = DagStats::of(&g);
+        assert_eq!(
+            s,
+            DagStats {
+                nodes: 4,
+                edges: 4,
+                sources: 1,
+                sinks: 1,
+                max_in_degree: 2,
+                max_out_degree: 2,
+                depth: 2,
+                trivial_cost: 2,
+            }
+        );
+        assert_eq!(s.min_rbp_cache(), 3);
+        let rendered = s.to_string();
+        assert!(rendered.contains("n=4"));
+        assert!(rendered.contains("trivial=2"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Topological orderings, level structure and closure computations.
+
+use crate::bitset::BitSet;
+use crate::graph::Dag;
+use crate::ids::NodeId;
+
+/// A topological ordering of the DAG (sources first). The ordering is the one
+/// produced by Kahn's algorithm with a FIFO queue, so it is deterministic for
+/// a given graph.
+pub fn topological_order(dag: &Dag) -> Vec<NodeId> {
+    dag.topological_order_internal()
+        .expect("Dag invariant guarantees acyclicity")
+}
+
+/// Position of every node in [`topological_order`]: `rank[v] = i` iff node `v`
+/// is the `i`-th node of the ordering.
+pub fn topological_rank(dag: &Dag) -> Vec<usize> {
+    let order = topological_order(dag);
+    let mut rank = vec![0usize; dag.node_count()];
+    for (i, v) in order.iter().enumerate() {
+        rank[v.index()] = i;
+    }
+    rank
+}
+
+/// The *level* (longest path length from any source) of every node. Sources
+/// have level 0.
+pub fn levels(dag: &Dag) -> Vec<usize> {
+    let order = topological_order(dag);
+    let mut level = vec![0usize; dag.node_count()];
+    for &v in &order {
+        for &(u, _) in dag.in_edges(v) {
+            level[v.index()] = level[v.index()].max(level[u.index()] + 1);
+        }
+    }
+    level
+}
+
+/// Length of the longest directed path in the DAG, measured in edges.
+pub fn depth(dag: &Dag) -> usize {
+    levels(dag).into_iter().max().unwrap_or(0)
+}
+
+/// Nodes grouped by level: `by_level[l]` lists the nodes whose level is `l`.
+pub fn nodes_by_level(dag: &Dag) -> Vec<Vec<NodeId>> {
+    let lv = levels(dag);
+    let d = lv.iter().copied().max().unwrap_or(0);
+    let mut out = vec![Vec::new(); d + 1];
+    for v in dag.nodes() {
+        out[lv[v.index()]].push(v);
+    }
+    out
+}
+
+/// The ancestor closure of `targets`: every node from which some node in
+/// `targets` is reachable, **including** the targets themselves.
+pub fn ancestors(dag: &Dag, targets: &BitSet) -> BitSet {
+    let order = topological_order(dag);
+    let mut anc = targets.clone();
+    // Walk the order backwards: a node is an ancestor if any successor is.
+    for &v in order.iter().rev() {
+        if anc.contains(v.index()) {
+            continue;
+        }
+        if dag.successors(v).any(|w| anc.contains(w.index())) {
+            anc.insert(v.index());
+        }
+    }
+    anc
+}
+
+/// The descendant closure of `sources_set`: every node reachable from some
+/// node in `sources_set`, **including** the set itself.
+pub fn descendants(dag: &Dag, sources_set: &BitSet) -> BitSet {
+    let order = topological_order(dag);
+    let mut desc = sources_set.clone();
+    for &v in order.iter() {
+        if desc.contains(v.index()) {
+            continue;
+        }
+        if dag.predecessors(v).any(|u| desc.contains(u.index())) {
+            desc.insert(v.index());
+        }
+    }
+    desc
+}
+
+/// Verify that `order` is a valid topological ordering of `dag` covering every
+/// node exactly once.
+pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
+    if order.len() != dag.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; dag.node_count()];
+    for (i, v) in order.iter().enumerate() {
+        if v.index() >= dag.node_count() || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    dag.edges().all(|e| {
+        let (u, v) = dag.edge_endpoints(e);
+        pos[u.index()] < pos[v.index()]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn chain(n: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let nodes = b.add_nodes(n);
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let x = b.add_node();
+        let y = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, d);
+        b.add_edge(y, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_topology() {
+        let g = chain(5);
+        let order = topological_order(&g);
+        assert!(is_topological_order(&g, &order));
+        assert_eq!(order, (0..5).map(NodeId::from_index).collect::<Vec<_>>());
+        assert_eq!(depth(&g), 4);
+        assert_eq!(levels(&g), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn diamond_levels_and_ranks() {
+        let g = diamond();
+        assert_eq!(levels(&g), vec![0, 1, 1, 2]);
+        assert_eq!(depth(&g), 2);
+        let rank = topological_rank(&g);
+        assert_eq!(rank[0], 0);
+        assert_eq!(rank[3], 3);
+        let by_level = nodes_by_level(&g);
+        assert_eq!(by_level.len(), 3);
+        assert_eq!(by_level[0], vec![NodeId(0)]);
+        assert_eq!(by_level[2], vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn ancestors_of_sink_is_everything() {
+        let g = diamond();
+        let targets = BitSet::from_indices(4, [3]);
+        let anc = ancestors(&g, &targets);
+        assert_eq!(anc.count(), 4);
+    }
+
+    #[test]
+    fn ancestors_of_middle_node() {
+        let g = diamond();
+        let targets = BitSet::from_indices(4, [1]);
+        let anc = ancestors(&g, &targets);
+        assert_eq!(anc.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn descendants_of_source_is_everything() {
+        let g = diamond();
+        let src = BitSet::from_indices(4, [0]);
+        let desc = descendants(&g, &src);
+        assert_eq!(desc.count(), 4);
+    }
+
+    #[test]
+    fn descendants_of_middle_node() {
+        let g = diamond();
+        let src = BitSet::from_indices(4, [2]);
+        let desc = descendants(&g, &src);
+        assert_eq!(desc.to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let g = chain(3);
+        assert!(!is_topological_order(&g, &[NodeId(2), NodeId(1), NodeId(0)]));
+        assert!(!is_topological_order(&g, &[NodeId(0), NodeId(1)]));
+        assert!(!is_topological_order(&g, &[NodeId(0), NodeId(0), NodeId(1)]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Reachability and path queries.
+
+use crate::bitset::BitSet;
+use crate::graph::Dag;
+use crate::ids::NodeId;
+
+/// All nodes reachable from `start` (including `start`) following edge
+/// directions.
+pub fn reachable_from(dag: &Dag, start: NodeId) -> BitSet {
+    let mut seen = dag.node_set();
+    let mut stack = vec![start];
+    seen.insert(start.index());
+    while let Some(v) = stack.pop() {
+        for &(w, _) in dag.out_edges(v) {
+            if seen.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// All nodes that can reach `target` (including `target`).
+pub fn reaching(dag: &Dag, target: NodeId) -> BitSet {
+    let mut seen = dag.node_set();
+    let mut stack = vec![target];
+    seen.insert(target.index());
+    while let Some(v) = stack.pop() {
+        for &(u, _) in dag.in_edges(v) {
+            if seen.insert(u.index()) {
+                stack.push(u);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns `true` if there is a directed path from `u` to `v` (including the
+/// trivial path when `u == v`).
+pub fn has_path(dag: &Dag, u: NodeId, v: NodeId) -> bool {
+    reachable_from(dag, u).contains(v.index())
+}
+
+/// Find one directed path from `u` to `v`, if any, returned as the node
+/// sequence `u, ..., v`.
+pub fn find_path(dag: &Dag, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    if u == v {
+        return Some(vec![u]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; dag.node_count()];
+    let mut seen = dag.node_set();
+    let mut stack = vec![u];
+    seen.insert(u.index());
+    while let Some(x) = stack.pop() {
+        for &(w, _) in dag.out_edges(x) {
+            if seen.insert(w.index()) {
+                parent[w.index()] = Some(x);
+                if w == v {
+                    let mut path = vec![v];
+                    let mut cur = v;
+                    while let Some(p) = parent[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                stack.push(w);
+            }
+        }
+    }
+    None
+}
+
+/// Count the number of distinct directed paths from sources to `v`.
+/// Counts saturate at `u64::MAX`.
+pub fn path_count_from_sources(dag: &Dag, v: NodeId) -> u64 {
+    let order = crate::topo::topological_order(dag);
+    let mut count = vec![0u64; dag.node_count()];
+    for &x in &order {
+        if dag.is_source(x) {
+            count[x.index()] = 1;
+        }
+        for &(w, _) in dag.out_edges(x) {
+            count[w.index()] = count[w.index()].saturating_add(count[x.index()]);
+        }
+    }
+    count[v.index()]
+}
+
+/// Number of distinct source→sink paths in the whole DAG (saturating).
+pub fn total_path_count(dag: &Dag) -> u64 {
+    dag.sinks()
+        .into_iter()
+        .map(|s| path_count_from_sources(dag, s))
+        .fold(0u64, |a, b| a.saturating_add(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node();
+        let x = b.add_node();
+        let y = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, x);
+        b.add_edge(a, y);
+        b.add_edge(x, d);
+        b.add_edge(y, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_diamond() {
+        let g = diamond();
+        assert_eq!(reachable_from(&g, NodeId(0)).count(), 4);
+        assert_eq!(reachable_from(&g, NodeId(1)).to_vec(), vec![1, 3]);
+        assert_eq!(reaching(&g, NodeId(3)).count(), 4);
+        assert_eq!(reaching(&g, NodeId(2)).to_vec(), vec![0, 2]);
+        assert!(has_path(&g, NodeId(0), NodeId(3)));
+        assert!(!has_path(&g, NodeId(1), NodeId(2)));
+        assert!(has_path(&g, NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn find_path_returns_valid_path() {
+        let g = diamond();
+        let p = find_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(0)));
+        assert_eq!(p.last(), Some(&NodeId(3)));
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert!(find_path(&g, NodeId(1), NodeId(2)).is_none());
+        assert_eq!(find_path(&g, NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn path_counting() {
+        let g = diamond();
+        assert_eq!(path_count_from_sources(&g, NodeId(3)), 2);
+        assert_eq!(path_count_from_sources(&g, NodeId(1)), 1);
+        assert_eq!(total_path_count(&g), 2);
+    }
+}

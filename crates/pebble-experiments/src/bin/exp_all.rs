@@ -1,0 +1,4 @@
+//! Prints every experiment table in order (E1 through E15).
+fn main() {
+    pebble_experiments::run_all();
+}

@@ -1,0 +1,4 @@
+//! Prints the E12 (Theorem 6.11) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e12_attention::run());
+}

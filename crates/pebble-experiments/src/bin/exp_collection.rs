@@ -1,0 +1,4 @@
+//! Prints the E5 (Proposition 4.6) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e05_collection::run());
+}

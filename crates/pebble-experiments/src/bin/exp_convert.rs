@@ -1,0 +1,4 @@
+//! Prints the E14 (Proposition 4.1) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e14_convert::run());
+}

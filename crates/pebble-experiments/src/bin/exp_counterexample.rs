@@ -1,0 +1,4 @@
+//! Prints the E8 (Lemma 5.4 / Figure 3) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e08_counterexample::run());
+}

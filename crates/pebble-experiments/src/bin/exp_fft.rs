@@ -1,0 +1,4 @@
+//! Prints the E10 (Theorem 6.9 / Figure 4) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e10_fft::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the E1 (Proposition 4.2 / Figure 1) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e01_fig1::run());
+}

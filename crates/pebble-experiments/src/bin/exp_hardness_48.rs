@@ -1,0 +1,4 @@
+//! Prints the E7 (Theorem 4.8) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e07_hardness_48::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the E13 (Theorem 7.1 / Figure 5) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e13_hardness_71::run());
+}

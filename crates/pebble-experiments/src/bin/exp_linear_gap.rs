@@ -1,0 +1,4 @@
+//! Prints the E6 (Proposition 4.7) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e06_linear_gap::run());
+}

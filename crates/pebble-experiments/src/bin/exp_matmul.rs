@@ -1,0 +1,4 @@
+//! Prints the E11 (Theorem 6.10) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e11_matmul::run());
+}

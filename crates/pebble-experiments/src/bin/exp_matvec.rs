@@ -1,0 +1,4 @@
+//! Prints the E2 (Proposition 4.3) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e02_matvec::run());
+}

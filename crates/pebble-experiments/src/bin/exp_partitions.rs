@@ -1,0 +1,4 @@
+//! Prints the E9 (Lemmas 6.4 and 6.8) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e09_partitions::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the E4 (Proposition 4.5 / Appendix A.2) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e04_trees::run());
+}

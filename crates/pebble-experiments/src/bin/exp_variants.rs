@@ -1,0 +1,4 @@
+//! Prints the E15 (Appendix B) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e15_variants::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the E3 (Proposition 4.4) experiment table.
+fn main() {
+    println!("{}", pebble_experiments::e03_zipper::run());
+}

@@ -1,0 +1,60 @@
+//! E2 — Proposition 4.3: matrix–vector multiplication with `m + 3 ≤ r ≤ 2m`.
+//! PRBP achieves the trivial cost `m² + 2m`; RBP needs at least `m² + 3m − 1`
+//! (and the paper-matching RBP strategy achieves exactly that with `r = 2m`).
+
+use crate::Table;
+use pebble_dag::generators::matvec;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::strategies::matvec as mv_strategies;
+
+/// Dimensions swept by the experiment.
+pub const SIZES: [usize; 5] = [3, 4, 8, 16, 32];
+
+/// Build the E2 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E2 (Prop 4.3): matrix-vector multiplication, r_PRBP = m+3, r_RBP = 2m",
+        &[
+            "m",
+            "trivial = m^2+2m",
+            "PRBP strategy",
+            "RBP lower bound m^2+3m-1",
+            "RBP strategy (r=2m)",
+        ],
+    );
+    for m in SIZES {
+        let g = matvec(m);
+        let prbp = mv_strategies::prbp_streaming(&g)
+            .validate(&g.dag, PrbpConfig::new(m + 3))
+            .unwrap();
+        let rbp = mv_strategies::rbp_row_by_row(&g)
+            .validate(&g.dag, RbpConfig::new(2 * m))
+            .unwrap();
+        t.push_row([
+            m.to_string(),
+            g.trivial_cost().to_string(),
+            prbp.to_string(),
+            g.rbp_lower_bound().to_string(),
+            rbp.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prbp_is_trivial_and_rbp_matches_its_bound() {
+        let t = super::run();
+        for row in &t.rows {
+            let trivial: usize = row[1].parse().unwrap();
+            let prbp: usize = row[2].parse().unwrap();
+            let bound: usize = row[3].parse().unwrap();
+            let rbp: usize = row[4].parse().unwrap();
+            assert_eq!(prbp, trivial);
+            assert_eq!(rbp, bound);
+            assert!(prbp < rbp);
+        }
+    }
+}

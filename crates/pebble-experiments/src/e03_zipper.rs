@@ -1,0 +1,51 @@
+//! E3 — Section 4.2.1 / Proposition 4.4: the zipper gadget with `r = d + 2`.
+//! RBP pays ≈ `d` loads per chain node; PRBP pays 2 per (pre-aggregated)
+//! chain node.
+
+use crate::Table;
+use pebble_dag::generators::zipper;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::strategies::zipper as z_strategies;
+
+/// (group size d, chain length) pairs swept by the experiment.
+pub const CASES: [(usize, usize); 5] = [(3, 8), (4, 8), (5, 8), (4, 16), (6, 24)];
+
+/// Build the E3 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E3 (Prop 4.4): zipper gadget, r = d + 2",
+        &["d", "chain", "trivial", "RBP strategy", "PRBP strategy", "PRBP/RBP"],
+    );
+    for (d, len) in CASES {
+        let z = zipper(d, len);
+        let rbp = z_strategies::rbp_zipper(&z)
+            .validate(&z.dag, RbpConfig::new(d + 2))
+            .unwrap();
+        let prbp = z_strategies::prbp_zipper(&z)
+            .validate(&z.dag, PrbpConfig::new(d + 2))
+            .unwrap();
+        t.push_row([
+            d.to_string(),
+            len.to_string(),
+            z.dag.trivial_cost().to_string(),
+            rbp.to_string(),
+            prbp.to_string(),
+            format!("{:.2}", prbp as f64 / rbp as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prbp_beats_rbp_for_d_at_least_three() {
+        let t = super::run();
+        for row in &t.rows {
+            let rbp: usize = row[3].parse().unwrap();
+            let prbp: usize = row[4].parse().unwrap();
+            assert!(prbp < rbp, "d={} chain={}", row[0], row[1]);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! E4 — Section 4.2.2 / Proposition 4.5 / Appendix A.2: binary and k-ary
+//! reduction trees with `r = k + 1`. The validated strategy costs match the
+//! closed forms `k^d + 2·k^(d−1) − 1` (RBP) and `k^d + 2·k^(d−k) − 1` (PRBP).
+
+use crate::Table;
+use pebble_dag::generators::kary_tree;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::strategies::tree;
+
+/// (arity k, depth d) pairs swept by the experiment.
+pub const CASES: [(usize, usize); 8] = [
+    (2, 3),
+    (2, 4),
+    (2, 5),
+    (2, 6),
+    (2, 8),
+    (3, 3),
+    (3, 4),
+    (4, 3),
+];
+
+/// Build the E4 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E4 (Prop 4.5, App A.2): k-ary reduction trees, r = k + 1",
+        &[
+            "k",
+            "d",
+            "RBP strategy",
+            "RBP formula",
+            "PRBP strategy",
+            "PRBP formula",
+        ],
+    );
+    for (k, d) in CASES {
+        let tr = kary_tree(k, d);
+        let rbp = tree::rbp_tree(&tr)
+            .validate(&tr.dag, RbpConfig::new(k + 1))
+            .unwrap();
+        let prbp = tree::prbp_tree(&tr)
+            .validate(&tr.dag, PrbpConfig::new(k + 1))
+            .unwrap();
+        t.push_row([
+            k.to_string(),
+            d.to_string(),
+            rbp.to_string(),
+            tree::rbp_tree_cost_formula(k, d).to_string(),
+            prbp.to_string(),
+            tree::prbp_tree_cost_formula(k, d).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn strategies_match_the_formulas_and_prbp_wins() {
+        let t = super::run();
+        for row in &t.rows {
+            assert_eq!(row[2], row[3], "RBP mismatch at k={} d={}", row[0], row[1]);
+            assert_eq!(row[4], row[5], "PRBP mismatch at k={} d={}", row[0], row[1]);
+            let rbp: usize = row[2].parse().unwrap();
+            let prbp: usize = row[4].parse().unwrap();
+            assert!(prbp < rbp);
+        }
+    }
+}

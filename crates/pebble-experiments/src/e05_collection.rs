@@ -1,0 +1,61 @@
+//! E5 — Section 4.2.3 / Proposition 4.6: the pebble-collection gadget.
+//! With `d + 2` pebbles only the trivial cost is paid; with fewer pebbles the
+//! cost exceeds the `ℓ / 2d` lower bound.
+
+use crate::Table;
+use pebble_dag::generators::pebble_collection;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::strategies::collection;
+
+/// (d, chain length ℓ, restricted cache r) triples swept by the experiment.
+pub const CASES: [(usize, usize, usize); 4] = [(3, 30, 4), (4, 40, 5), (5, 50, 6), (6, 60, 6)];
+
+/// Build the E5 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E5 (Prop 4.6): pebble-collection gadget",
+        &[
+            "d",
+            "chain",
+            "trivial (r=d+2)",
+            "restricted r",
+            "restricted cost",
+            "lower bound l/2d",
+        ],
+    );
+    for (d, len, r) in CASES {
+        let p = pebble_collection(d, len);
+        let full = collection::prbp_full_cache(&p)
+            .validate(&p.dag, PrbpConfig::new(d + 2))
+            .unwrap();
+        let restricted = collection::prbp_restricted(&p, r)
+            .unwrap()
+            .validate(&p.dag, PrbpConfig::new(r))
+            .unwrap();
+        t.push_row([
+            d.to_string(),
+            len.to_string(),
+            full.to_string(),
+            r.to_string(),
+            restricted.to_string(),
+            collection::restricted_lower_bound(d, len).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn full_cache_is_trivial_and_restricted_exceeds_the_bound() {
+        let t = super::run();
+        for (i, row) in t.rows.iter().enumerate() {
+            let (d, len, _) = super::CASES[i];
+            let full: usize = row[2].parse().unwrap();
+            let restricted: usize = row[4].parse().unwrap();
+            let bound: usize = row[5].parse().unwrap();
+            assert_eq!(full, d + 1);
+            assert!(restricted >= d + 1 + bound, "d={d} len={len}");
+        }
+    }
+}

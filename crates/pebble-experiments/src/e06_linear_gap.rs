@@ -1,0 +1,55 @@
+//! E6 — Proposition 4.7: chained Figure 1 gadgets with `r = 4`.
+//! `OPT_PRBP = 2` stays constant while RBP grows linearly in the number of
+//! gadgets (between `copies + 2` and `2·copies + 2`).
+
+use crate::Table;
+use pebble_dag::generators::chained_gadgets;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::strategies::chain_gadget;
+
+/// Gadget counts swept by the experiment.
+pub const COPIES: [usize; 6] = [1, 2, 4, 8, 16, 64];
+
+/// Build the E6 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E6 (Prop 4.7): chained gadgets, r = 4 (linear RBP / constant PRBP)",
+        &["copies", "n", "RBP lower bound", "RBP strategy", "PRBP strategy"],
+    );
+    for copies in COPIES {
+        let c = chained_gadgets(copies);
+        let rbp = chain_gadget::rbp_trace(&c)
+            .validate(&c.dag, RbpConfig::new(chain_gadget::CHAIN_CACHE))
+            .unwrap();
+        let prbp = chain_gadget::prbp_trace(&c)
+            .validate(&c.dag, PrbpConfig::new(chain_gadget::CHAIN_CACHE))
+            .unwrap();
+        t.push_row([
+            copies.to_string(),
+            c.dag.node_count().to_string(),
+            (copies + 2).to_string(),
+            rbp.to_string(),
+            prbp.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prbp_constant_while_rbp_grows_linearly() {
+        let t = super::run();
+        for (i, row) in t.rows.iter().enumerate() {
+            let copies = super::COPIES[i];
+            let lower: usize = row[2].parse().unwrap();
+            let rbp: usize = row[3].parse().unwrap();
+            let prbp: usize = row[4].parse().unwrap();
+            assert_eq!(prbp, 2);
+            assert_eq!(lower, copies + 2);
+            assert!(rbp >= lower);
+            assert_eq!(rbp, 2 * copies + 2);
+        }
+    }
+}

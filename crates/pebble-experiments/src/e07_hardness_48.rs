@@ -1,0 +1,64 @@
+//! E7 — Theorem 4.8 / Lemma 4.10: the reduction from `maxinset-vertex` to
+//! "does PRBP strictly beat RBP on this DAG?". For each vertex of a few small
+//! source graphs the table lists the oracle answer and the size of the
+//! generated pebbling instance.
+
+use crate::Table;
+use pebble_hardness::independent_set::{max_independent_set_size, maxinset_vertex};
+use pebble_hardness::reduction48;
+use pebble_hardness::UGraph;
+
+/// The small source graphs used by the experiment.
+pub fn instances() -> Vec<(&'static str, UGraph)> {
+    vec![
+        ("star K1,3", UGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)])),
+        ("path P5", UGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])),
+        ("cycle C5", UGraph::cycle(5)),
+        ("triangle+pendant", UGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)])),
+    ]
+}
+
+/// Build the E7 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E7 (Thm 4.8): maxinset-vertex reduction instances",
+        &[
+            "graph",
+            "v0",
+            "max ind. set",
+            "v0 in a maximum set?",
+            "OPT_PRBP < OPT_RBP?",
+            "DAG nodes",
+            "cache r",
+        ],
+    );
+    for (name, g) in instances() {
+        let alpha = max_independent_set_size(&g);
+        for v0 in 0..g.vertex_count() {
+            let red = reduction48::build(&g, v0);
+            t.push_row([
+                name.to_string(),
+                v0.to_string(),
+                alpha.to_string(),
+                maxinset_vertex(&g, v0).to_string(),
+                red.prbp_strictly_better().to_string(),
+                red.dag.node_count().to_string(),
+                red.r.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reduction_answer_is_the_negated_oracle() {
+        let t = super::run();
+        for row in &t.rows {
+            let in_max: bool = row[3].parse().unwrap();
+            let gap: bool = row[4].parse().unwrap();
+            assert_eq!(gap, !in_max, "row {row:?}");
+        }
+    }
+}

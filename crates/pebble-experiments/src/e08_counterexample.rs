@@ -1,0 +1,65 @@
+//! E8 — Lemma 5.4 / Figure 3: the S-partition bound fails for PRBP. The true
+//! PRBP cost stays at the trivial 8 while the classic bound
+//! `r·(MIN_part(2r) − 1)` grows linearly with the instance.
+
+use crate::Table;
+use pebble_bounds::counterexample::{
+    min_spartition_classes_lower_bound, partition_from_pebbling, prbp_trivial_trace,
+    COUNTEREXAMPLE_CACHE,
+};
+use pebble_dag::generators::spartition_counterexample;
+use pebble_game::prbp::PrbpConfig;
+
+/// Group sizes swept by the experiment.
+pub const GROUP_SIZES: [usize; 4] = [30, 60, 120, 240];
+
+/// Build the E8 table.
+pub fn run() -> Table {
+    let r = COUNTEREXAMPLE_CACHE;
+    let mut t = Table::new(
+        "E8 (Lemma 5.4, Fig 3): failure of the classic S-partition bound in PRBP (r = 3)",
+        &[
+            "group size",
+            "n",
+            "OPT_PRBP (validated)",
+            "classic bound r*(MIN_part(6)-1)",
+            "trace partition valid S-partition?",
+            "valid S-dominator partition?",
+        ],
+    );
+    for group_size in GROUP_SIZES {
+        let c = spartition_counterexample(group_size);
+        let cost = prbp_trivial_trace(&c)
+            .validate(&c.dag, PrbpConfig::new(r))
+            .unwrap();
+        let false_bound = r * (min_spartition_classes_lower_bound(group_size) - 1);
+        let partition = partition_from_pebbling(&c);
+        let valid_full = partition.validate(&c.dag, 2 * r).is_ok();
+        let valid_dom = partition.validate_dominator_only(&c.dag, 2 * r).is_ok();
+        t.push_row([
+            group_size.to_string(),
+            c.dag.node_count().to_string(),
+            cost.to_string(),
+            false_bound.to_string(),
+            valid_full.to_string(),
+            valid_dom.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bound_diverges_while_cost_stays_at_eight() {
+        let t = super::run();
+        for row in &t.rows {
+            let cost: usize = row[2].parse().unwrap();
+            let bound: usize = row[3].parse().unwrap();
+            assert_eq!(cost, 8);
+            assert!(bound > cost);
+            assert_eq!(row[4], "false");
+            assert_eq!(row[5], "true");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! E10 — Section 6.3.1 / Theorem 6.9 / Figure 4: the m-point FFT. The blocked
+//! strategy costs `Θ(m·log m / log r)` and stays within a constant factor of
+//! the PRBP lower bound.
+
+use crate::Table;
+use pebble_bounds::analytic::fft_prbp_lower_bound;
+use pebble_dag::generators::fft;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::strategies::fft as fft_strategies;
+
+/// (m, r) pairs swept by the experiment.
+pub const CASES: [(usize, usize); 6] = [(64, 8), (256, 8), (1024, 8), (1024, 16), (1024, 64), (4096, 16)];
+
+/// Build the E10 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E10 (Thm 6.9, Fig 4): m-point FFT, blocked strategy vs PRBP lower bound",
+        &["m", "r", "trivial 2m", "PRBP strategy", "lower bound", "strategy/bound"],
+    );
+    for (m, r) in CASES {
+        let f = fft(m);
+        let cost = fft_strategies::prbp_blocked(&f, r)
+            .unwrap()
+            .validate(&f.dag, PrbpConfig::new(r))
+            .unwrap();
+        let bound = fft_prbp_lower_bound(m, r);
+        t.push_row([
+            m.to_string(),
+            r.to_string(),
+            (2 * m).to_string(),
+            cost.to_string(),
+            format!("{bound:.0}"),
+            format!("{:.2}", cost as f64 / bound),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn strategy_respects_and_tracks_the_lower_bound() {
+        let t = super::run();
+        for row in &t.rows {
+            let cost: f64 = row[3].parse().unwrap();
+            let bound: f64 = row[4].parse().unwrap();
+            assert!(cost >= bound, "{row:?}");
+            // Constant-factor tracking: the blocked strategy is within a
+            // modest factor of the (constant-explicit) lower bound.
+            assert!(cost <= 64.0 * bound, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn cost_grows_with_m_and_shrinks_with_r() {
+        let t = super::run();
+        let get = |i: usize| t.rows[i][3].parse::<usize>().unwrap();
+        assert!(get(0) < get(1) && get(1) < get(2)); // m grows at r = 8
+        assert!(get(2) > get(3) && get(3) > get(4)); // r grows at m = 1024
+    }
+}

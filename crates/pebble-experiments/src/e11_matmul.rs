@@ -1,0 +1,66 @@
+//! E11 — Theorem 6.10: standard matrix multiplication. The PRBP tiled
+//! strategy costs `Θ(m₁m₂m₃/√r)`, stays above the lower bound and far below
+//! the naive RBP baseline.
+
+use crate::Table;
+use pebble_bounds::analytic::matmul_prbp_lower_bound;
+use pebble_dag::generators::matmul;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::strategies::matmul as mm_strategies;
+
+/// (m, r) pairs (square multiplications) swept by the experiment.
+pub const CASES: [(usize, usize); 5] = [(6, 9), (8, 9), (8, 25), (12, 25), (12, 49)];
+
+/// Build the E11 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E11 (Thm 6.10): m x m x m matrix multiplication",
+        &["m", "r", "lower bound", "PRBP tiled", "naive RBP (r=m+3)", "tiled/naive"],
+    );
+    for (m, r) in CASES {
+        let g = matmul(m, m, m);
+        let tiled = mm_strategies::prbp_tiled(&g, r)
+            .unwrap()
+            .validate(&g.dag, PrbpConfig::new(r))
+            .unwrap();
+        let naive = mm_strategies::rbp_naive(&g, m + 3)
+            .unwrap()
+            .validate(&g.dag, RbpConfig::new(m + 3))
+            .unwrap();
+        let bound = matmul_prbp_lower_bound(m, m, m, r);
+        t.push_row([
+            m.to_string(),
+            r.to_string(),
+            format!("{bound:.0}"),
+            tiled.to_string(),
+            naive.to_string(),
+            format!("{:.2}", tiled as f64 / naive as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tiled_beats_naive_and_respects_bound() {
+        let t = super::run();
+        for row in &t.rows {
+            let bound: f64 = row[2].parse().unwrap();
+            let tiled: f64 = row[3].parse().unwrap();
+            let naive: f64 = row[4].parse().unwrap();
+            assert!(tiled >= bound, "{row:?}");
+            assert!(tiled < naive, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn larger_cache_reduces_tiled_cost() {
+        let t = super::run();
+        // m = 8: r = 9 vs r = 25.
+        let c9: usize = t.rows[1][3].parse().unwrap();
+        let c25: usize = t.rows[2][3].parse().unwrap();
+        assert!(c25 < c9);
+    }
+}

@@ -1,0 +1,58 @@
+//! E12 — Section 6.3.3 / Theorem 6.11: attention. The streaming
+//! (FlashAttention-style) strategy costs `Θ(m²·d²/r)` in the large-cache
+//! regime and stays above the PRBP lower bound
+//! `Ω(min(m²d/√r, m²d²/r))`.
+
+use crate::Table;
+use pebble_bounds::analytic::{attention_large_cache_regime, attention_prbp_lower_bound};
+use pebble_dag::generators::attention_full;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::strategies::attention as att_strategies;
+
+/// (m, d, r) triples swept by the experiment.
+pub const CASES: [(usize, usize, usize); 5] =
+    [(8, 2, 11), (16, 2, 11), (16, 2, 19), (16, 2, 35), (12, 3, 27)];
+
+/// Build the E12 table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E12 (Thm 6.11): attention, streaming strategy vs PRBP lower bound",
+        &["m", "d", "r", "large-cache regime", "lower bound", "PRBP streaming"],
+    );
+    for (m, d, r) in CASES {
+        let att = attention_full(m, d);
+        let cost = att_strategies::prbp_streaming(&att, r)
+            .unwrap()
+            .validate(&att.dag, PrbpConfig::new(r))
+            .unwrap();
+        let bound = attention_prbp_lower_bound(m, d, r);
+        t.push_row([
+            m.to_string(),
+            d.to_string(),
+            r.to_string(),
+            attention_large_cache_regime(d, r).to_string(),
+            format!("{bound:.0}"),
+            cost.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn strategy_respects_the_bound_and_improves_with_cache() {
+        let t = super::run();
+        for row in &t.rows {
+            let bound: f64 = row[4].parse().unwrap();
+            let cost: f64 = row[5].parse().unwrap();
+            assert!(cost >= bound, "{row:?}");
+        }
+        // m = 16, d = 2: r = 11 vs 19 vs 35 — cost decreases with cache size.
+        let c11: usize = t.rows[1][5].parse().unwrap();
+        let c19: usize = t.rows[2][5].parse().unwrap();
+        let c35: usize = t.rows[3][5].parse().unwrap();
+        assert!(c11 > c19);
+        assert!(c19 > c35);
+    }
+}

@@ -1,0 +1,76 @@
+//! # pebble-experiments
+//!
+//! One function per quantitative claim of the paper; each returns a
+//! [`Table`] that the corresponding `exp_*` binary prints. `EXPERIMENTS.md`
+//! records the expected (paper) versus the measured (this crate) values.
+//!
+//! Every number in these tables is a *validated* pebbling cost (the move
+//! sequence was replayed through the simulators) or an exact optimum from the
+//! solvers — never a formula evaluated on faith.
+
+pub mod table;
+
+pub mod e01_fig1;
+pub mod e02_matvec;
+pub mod e03_zipper;
+pub mod e04_trees;
+pub mod e05_collection;
+pub mod e06_linear_gap;
+pub mod e07_hardness_48;
+pub mod e08_counterexample;
+pub mod e09_partitions;
+pub mod e10_fft;
+pub mod e11_matmul;
+pub mod e12_attention;
+pub mod e13_hardness_71;
+pub mod e14_convert;
+pub mod e15_variants;
+
+pub use table::Table;
+
+/// Run every experiment, printing each table (used by the `exp_all` binary).
+pub fn run_all() {
+    for table in all_tables() {
+        println!("{table}");
+        println!();
+    }
+}
+
+/// All experiment tables in order.
+pub fn all_tables() -> Vec<Table> {
+    vec![
+        e01_fig1::run(),
+        e02_matvec::run(),
+        e03_zipper::run(),
+        e04_trees::run(),
+        e05_collection::run(),
+        e06_linear_gap::run(),
+        e07_hardness_48::run(),
+        e08_counterexample::run(),
+        e09_partitions::run(),
+        e10_fft::run(),
+        e11_matmul::run(),
+        e12_attention::run(),
+        e13_hardness_71::run(),
+        e14_convert::run(),
+        e15_variants::run(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_produces_a_nonempty_table() {
+        // This is the cheap smoke test; the individual experiment modules
+        // assert their paper-specific invariants.
+        for table in all_tables() {
+            assert!(!table.rows.is_empty(), "{} has no rows", table.title);
+            assert!(!table.columns.is_empty());
+            for row in &table.rows {
+                assert_eq!(row.len(), table.columns.len(), "ragged row in {}", table.title);
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal plain-text table rendering for the experiment binaries.
+
+use std::fmt;
+
+/// A titled table of string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (experiment id + paper reference).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; each row has one cell per column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have one cell per column).
+    pub fn push_row<I: IntoIterator<Item = String>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().collect();
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Convenience: append a row of displayable values.
+    pub fn row(&mut self, cells: &[&dyn fmt::Display]) {
+        self.push_row(cells.iter().map(|c| c.to_string()));
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(header.join("  ").len()))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(["a".to_string(), "1".to_string()]);
+        t.push_row(["longer".to_string(), "23".to_string()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name"));
+        assert!(s.contains("longer"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(["only one".to_string()]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Conversion of RBP pebblings into PRBP pebblings (Proposition 4.1).
+//!
+//! Any one-shot RBP strategy translates into a PRBP strategy of the same (or
+//! lower) I/O cost: each compute step becomes at most `Δ_in` consecutive
+//! partial compute steps, loads and deletes carry over unchanged, and saves
+//! carry over whenever the value is actually dirty (a redundant RBP save of a
+//! value that is already up to date in slow memory is dropped, which can only
+//! decrease the cost).
+
+use crate::moves::{PrbpMove, RbpMove};
+use crate::prbp::{PebbleState, PrbpConfig, PrbpGame};
+use crate::trace::{PrbpTrace, RbpTrace};
+use pebble_dag::Dag;
+use std::fmt;
+
+/// Errors raised by [`rbp_to_prbp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The RBP trace contains a sliding move, which has no cost-preserving
+    /// PRBP equivalent in general (the slide frees its source pebble at the
+    /// same instant, while PRBP needs both pebbles momentarily).
+    SlidingMove(usize),
+    /// The converted move was rejected by the PRBP simulator; this indicates
+    /// the original RBP trace was itself invalid (e.g. it relied on
+    /// re-computation).
+    InvalidAt { index: usize, message: String },
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::SlidingMove(i) => {
+                write!(f, "RBP move {i} is a slide; sliding traces are not convertible")
+            }
+            ConvertError::InvalidAt { index, message } => {
+                write!(f, "conversion failed at RBP move {index}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// Convert a valid one-shot RBP trace into a PRBP trace of the same or lower
+/// I/O cost (Proposition 4.1). The conversion is verified move by move on a
+/// PRBP simulator with the same cache size `r`; the resulting trace is
+/// guaranteed to replay successfully.
+pub fn rbp_to_prbp(dag: &Dag, rbp_trace: &RbpTrace, r: usize) -> Result<PrbpTrace, ConvertError> {
+    let mut game = PrbpGame::new(dag, PrbpConfig::new(r));
+    let mut out = PrbpTrace::new();
+    let push = |game: &mut PrbpGame, out: &mut PrbpTrace, index: usize, mv: PrbpMove| {
+        game.apply(mv).map_err(|e| ConvertError::InvalidAt {
+            index,
+            message: format!("{mv}: {e}"),
+        })?;
+        out.push(mv);
+        Ok::<(), ConvertError>(())
+    };
+
+    for (i, &mv) in rbp_trace.moves.iter().enumerate() {
+        match mv {
+            RbpMove::Load(v) => {
+                // Skip loads of values that are already in fast memory (they
+                // would still be legal, but dropping them can only reduce cost
+                // and keeps the cost comparison exact for sensible traces).
+                if !game.pebble_state(v).has_red() {
+                    push(&mut game, &mut out, i, PrbpMove::Load(v))?;
+                }
+            }
+            RbpMove::Save(v) => {
+                // Only dirty (dark red) values need an actual save.
+                if game.pebble_state(v) == PebbleState::DarkRed {
+                    push(&mut game, &mut out, i, PrbpMove::Save(v))?;
+                }
+            }
+            RbpMove::Compute(v) => {
+                for &(u, _) in dag.in_edges(v) {
+                    push(&mut game, &mut out, i, PrbpMove::PartialCompute { from: u, to: v })?;
+                }
+            }
+            RbpMove::Delete(v) => {
+                if game.pebble_state(v).has_red() {
+                    push(&mut game, &mut out, i, PrbpMove::Delete(v))?;
+                }
+            }
+            RbpMove::ComputeSlide { .. } => return Err(ConvertError::SlidingMove(i)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rbp::RbpConfig;
+    use pebble_dag::generators::{binary_tree, fig1_full, matvec};
+    use pebble_dag::{DagBuilder, NodeId};
+
+    #[test]
+    fn converts_simple_chain_at_equal_cost() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        let g = b.build().unwrap();
+        let rbp = RbpTrace::from_moves(vec![
+            RbpMove::Load(NodeId(0)),
+            RbpMove::Compute(NodeId(1)),
+            RbpMove::Delete(NodeId(0)),
+            RbpMove::Compute(NodeId(2)),
+            RbpMove::Save(NodeId(2)),
+        ]);
+        let rbp_cost = rbp.validate(&g, RbpConfig::new(2)).unwrap();
+        let prbp = rbp_to_prbp(&g, &rbp, 2).unwrap();
+        let prbp_cost = prbp.validate(&g, PrbpConfig::new(2)).unwrap();
+        assert_eq!(prbp_cost, rbp_cost);
+    }
+
+    #[test]
+    fn converted_fig1_strategy_is_valid() {
+        let f = fig1_full();
+        let rbp = crate::strategies::fig1::rbp_optimal_trace(&f);
+        let rbp_cost = rbp.validate(&f.dag, RbpConfig::new(4)).unwrap();
+        let prbp = rbp_to_prbp(&f.dag, &rbp, 4).unwrap();
+        let prbp_cost = prbp.validate(&f.dag, PrbpConfig::new(4)).unwrap();
+        assert!(prbp_cost <= rbp_cost);
+    }
+
+    #[test]
+    fn converted_topological_strategies_preserve_cost_bound() {
+        // Proposition 4.1 on a variety of DAGs: the converted PRBP strategy is
+        // valid and never more expensive.
+        let dags: Vec<pebble_dag::Dag> = vec![binary_tree(3), matvec(3).dag, fig1_full().dag];
+        for dag in &dags {
+            let r = dag.max_in_degree() + 2;
+            let rbp = crate::strategies::topological::rbp_topological(dag, r)
+                .expect("topological RBP strategy exists");
+            let rbp_cost = rbp.validate(dag, RbpConfig::new(r)).unwrap();
+            let prbp = rbp_to_prbp(dag, &rbp, r).unwrap();
+            let prbp_cost = prbp.validate(dag, PrbpConfig::new(r)).unwrap();
+            assert!(prbp_cost <= rbp_cost, "PRBP {prbp_cost} > RBP {rbp_cost}");
+        }
+    }
+
+    #[test]
+    fn sliding_traces_are_rejected() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1]);
+        let g = b.build().unwrap();
+        let rbp = RbpTrace::from_moves(vec![
+            RbpMove::Load(NodeId(0)),
+            RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) },
+            RbpMove::Save(NodeId(1)),
+        ]);
+        assert_eq!(rbp_to_prbp(&g, &rbp, 2), Err(ConvertError::SlidingMove(1)));
+    }
+}

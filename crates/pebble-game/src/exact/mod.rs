@@ -1,0 +1,115 @@
+//! Exact optimal-cost solvers for small DAGs.
+//!
+//! Both solvers run an A*-style uniform-cost search over pebbling
+//! configurations: the state of the search is the full pebble placement (plus
+//! edge markings for PRBP), transitions are the individual game moves, and
+//! the edge weights are the I/O costs (compute and delete moves are free).
+//! The heuristic counts sources that will still have to be loaded and sinks
+//! that will still have to be saved, which is admissible in both models.
+//!
+//! These searches are exponential in general (finding `OPT` is NP-hard,
+//! Theorem 7.1), so they are intended for the paper's small gadget DAGs; the
+//! [`SearchConfig::max_states`] limit guards against runaway instances.
+
+mod prbp_solver;
+mod rbp_solver;
+
+pub use prbp_solver::{optimal_prbp_cost, optimal_prbp_trace};
+pub use rbp_solver::{optimal_rbp_cost, optimal_rbp_trace};
+
+use crate::moves::Model;
+use crate::prbp::PrbpConfig;
+use crate::rbp::RbpConfig;
+use pebble_dag::Dag;
+use std::fmt;
+
+/// Limits for the exact search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Maximum number of distinct states to explore before giving up.
+    pub max_states: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_states: 5_000_000,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A search limited to `max_states` explored states.
+    pub fn with_max_states(max_states: usize) -> Self {
+        SearchConfig { max_states }
+    }
+}
+
+/// Why an exact search did not return an optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactError {
+    /// No valid pebbling exists for this DAG and cache size (e.g. RBP with
+    /// `r < Δ_in + 1`).
+    Unsolvable,
+    /// The state limit was reached before the search completed.
+    StateLimitExceeded {
+        /// Number of states explored when the search stopped.
+        explored: usize,
+    },
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::Unsolvable => write!(f, "no valid pebbling exists"),
+            ExactError::StateLimitExceeded { explored } => {
+                write!(f, "state limit exceeded after exploring {explored} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// Optimal I/O cost of pebbling `dag` with cache size `r` in the given model
+/// (standard one-shot rules, default search limits).
+pub fn optimal_cost(dag: &Dag, r: usize, model: Model) -> Result<usize, ExactError> {
+    match model {
+        Model::Rbp => optimal_rbp_cost(dag, RbpConfig::new(r), SearchConfig::default()),
+        Model::Prbp => optimal_prbp_cost(dag, PrbpConfig::new(r), SearchConfig::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::DagBuilder;
+
+    #[test]
+    fn optimal_cost_dispatches_both_models() {
+        // a, b -> c: RBP needs r >= 3, PRBP works with r = 2.
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[1], n[2]);
+        let g = b.build().unwrap();
+        assert_eq!(optimal_cost(&g, 3, Model::Rbp).unwrap(), 3);
+        assert_eq!(optimal_cost(&g, 2, Model::Rbp), Err(ExactError::Unsolvable));
+        assert_eq!(optimal_cost(&g, 2, Model::Prbp).unwrap(), 3);
+        assert_eq!(optimal_cost(&g, 3, Model::Prbp).unwrap(), 3);
+    }
+
+    #[test]
+    fn search_config_default_and_override() {
+        assert_eq!(SearchConfig::default().max_states, 5_000_000);
+        assert_eq!(SearchConfig::with_max_states(10).max_states, 10);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ExactError::Unsolvable.to_string().contains("no valid"));
+        assert!(ExactError::StateLimitExceeded { explored: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

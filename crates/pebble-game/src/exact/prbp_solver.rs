@@ -1,0 +1,317 @@
+//! Exact optimal-cost search for the partial-computing red-blue pebble game.
+
+use super::{ExactError, SearchConfig};
+use crate::moves::PrbpMove;
+use crate::prbp::{PebbleState, PrbpConfig};
+use crate::trace::PrbpTrace;
+use pebble_dag::{BitSet, Dag, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A pebbling configuration of the PRBP game: the per-node pebble state plus
+/// the set of marked edges.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PrbpSearchState {
+    nodes: Vec<PebbleState>,
+    marked: BitSet,
+}
+
+/// Optimal I/O cost of pebbling `dag` under `config` in PRBP.
+pub fn optimal_prbp_cost(
+    dag: &Dag,
+    config: PrbpConfig,
+    search: SearchConfig,
+) -> Result<usize, ExactError> {
+    solve(dag, config, search, false).map(|(cost, _)| cost)
+}
+
+/// Optimal I/O cost together with one optimal PRBP pebbling trace.
+pub fn optimal_prbp_trace(
+    dag: &Dag,
+    config: PrbpConfig,
+    search: SearchConfig,
+) -> Result<(usize, PrbpTrace), ExactError> {
+    let (cost, trace) = solve(dag, config, search, true)?;
+    Ok((cost, trace.expect("trace requested")))
+}
+
+fn solve(
+    dag: &Dag,
+    config: PrbpConfig,
+    search: SearchConfig,
+    want_trace: bool,
+) -> Result<(usize, Option<PrbpTrace>), ExactError> {
+    // PRBP can pebble any DAG (without isolated nodes) with two red pebbles,
+    // but never with fewer.
+    if config.r < 2 {
+        return Err(ExactError::Unsolvable);
+    }
+
+    let n = dag.node_count();
+    let m = dag.edge_count();
+    let sources = dag.sources();
+    let sinks = dag.sinks();
+
+    let mut initial_nodes = vec![PebbleState::Empty; n];
+    for &s in &sources {
+        initial_nodes[s.index()] = PebbleState::Blue;
+    }
+    let start = PrbpSearchState {
+        nodes: initial_nodes,
+        marked: BitSet::new(m),
+    };
+
+    // Admissible heuristic: a source without a red pebble that still has an
+    // unmarked out-edge must be loaded again; a sink without a blue pebble
+    // must still be saved.
+    let heuristic = |st: &PrbpSearchState| -> usize {
+        let mut h = 0;
+        for &s in &sources {
+            if !st.nodes[s.index()].has_red()
+                && dag.out_edges(s).iter().any(|&(_, e)| !st.marked.contains(e.index()))
+            {
+                h += 1;
+            }
+        }
+        for &t in &sinks {
+            if !st.nodes[t.index()].has_blue() {
+                h += 1;
+            }
+        }
+        h
+    };
+
+    let is_goal = |st: &PrbpSearchState| -> bool {
+        st.marked.count() == m && sinks.iter().all(|t| st.nodes[t.index()].has_blue())
+    };
+
+    let mut states: Vec<PrbpSearchState> = vec![start.clone()];
+    let mut index: HashMap<PrbpSearchState, usize> = HashMap::new();
+    index.insert(start.clone(), 0);
+    let mut dist: Vec<usize> = vec![0];
+    let mut parent: Vec<Option<(usize, PrbpMove)>> = vec![None];
+
+    let mut heap: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((heuristic(&start), 0, 0)));
+
+    while let Some(Reverse((_, g, idx))) = heap.pop() {
+        if g > dist[idx] {
+            continue;
+        }
+        let state = states[idx].clone();
+        if is_goal(&state) {
+            let trace = want_trace.then(|| reconstruct(&parent, idx));
+            return Ok((g, trace));
+        }
+        if states.len() > search.max_states {
+            return Err(ExactError::StateLimitExceeded { explored: states.len() });
+        }
+
+        let red_count = state.nodes.iter().filter(|s| s.has_red()).count();
+        // Per-node counts of unmarked in/out edges in this state.
+        let fully_computed = |v: NodeId| {
+            dag.in_edges(v).iter().all(|&(_, e)| state.marked.contains(e.index()))
+        };
+        let all_out_marked = |v: NodeId| {
+            dag.out_edges(v).iter().all(|&(_, e)| state.marked.contains(e.index()))
+        };
+
+        let push_succ = |succ: PrbpSearchState,
+                             mv: PrbpMove,
+                             cost: usize,
+                             states: &mut Vec<PrbpSearchState>,
+                             index: &mut HashMap<PrbpSearchState, usize>,
+                             dist: &mut Vec<usize>,
+                             parent: &mut Vec<Option<(usize, PrbpMove)>>,
+                             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
+            let new_g = g + cost;
+            let succ_idx = match index.get(&succ) {
+                Some(&i) => i,
+                None => {
+                    let i = states.len();
+                    states.push(succ.clone());
+                    index.insert(succ, i);
+                    dist.push(usize::MAX);
+                    parent.push(None);
+                    i
+                }
+            };
+            if new_g < dist[succ_idx] {
+                dist[succ_idx] = new_g;
+                parent[succ_idx] = Some((idx, mv));
+                heap.push(Reverse((new_g + heuristic(&states[succ_idx]), new_g, succ_idx)));
+            }
+        };
+
+        for v in dag.nodes() {
+            let vi = v.index();
+            match state.nodes[vi] {
+                PebbleState::Blue => {
+                    if red_count < config.r {
+                        let mut s = state.clone();
+                        s.nodes[vi] = PebbleState::BlueAndLightRed;
+                        push_succ(s, PrbpMove::Load(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                    }
+                }
+                PebbleState::BlueAndLightRed => {
+                    let mut s = state.clone();
+                    s.nodes[vi] = PebbleState::Blue;
+                    push_succ(s, PrbpMove::Delete(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                }
+                PebbleState::DarkRed => {
+                    let mut s = state.clone();
+                    s.nodes[vi] = PebbleState::BlueAndLightRed;
+                    push_succ(s, PrbpMove::Save(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                    if !config.no_delete && !dag.is_sink(v) && all_out_marked(v) {
+                        let mut s = state.clone();
+                        s.nodes[vi] = PebbleState::Empty;
+                        push_succ(s, PrbpMove::Delete(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                    }
+                }
+                PebbleState::Empty => {}
+            }
+        }
+
+        // Partial compute steps over all unmarked edges.
+        for e in dag.edges() {
+            if state.marked.contains(e.index()) {
+                continue;
+            }
+            let (u, v) = dag.edge_endpoints(e);
+            if !state.nodes[u.index()].has_red() || !fully_computed(u) {
+                continue;
+            }
+            match state.nodes[v.index()] {
+                PebbleState::Blue => continue,
+                PebbleState::Empty if red_count >= config.r => continue,
+                _ => {}
+            }
+            let mut s = state.clone();
+            s.nodes[v.index()] = PebbleState::DarkRed;
+            s.marked.insert(e.index());
+            push_succ(
+                s,
+                PrbpMove::PartialCompute { from: u, to: v },
+                0,
+                &mut states, &mut index, &mut dist, &mut parent, &mut heap,
+            );
+        }
+    }
+    Err(ExactError::Unsolvable)
+}
+
+fn reconstruct(parent: &[Option<(usize, PrbpMove)>], mut idx: usize) -> PrbpTrace {
+    let mut moves = Vec::new();
+    while let Some((prev, mv)) = parent[idx] {
+        moves.push(mv);
+        idx = prev;
+    }
+    moves.reverse();
+    PrbpTrace::from_moves(moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::generators::{fig1_full, fig1_gadget};
+    use pebble_dag::DagBuilder;
+
+    #[test]
+    fn chain_needs_only_trivial_cost_with_r2() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(5);
+        for w in n.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(
+            optimal_prbp_cost(&g, PrbpConfig::new(2), SearchConfig::default()).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn high_in_degree_node_pebbled_with_two_reds() {
+        // A single aggregation node with 4 inputs: RBP would need r = 5, PRBP
+        // manages with r = 2 at trivial cost.
+        let mut b = DagBuilder::new();
+        let srcs = b.add_nodes(4);
+        let sink = b.add_node();
+        for &s in &srcs {
+            b.add_edge(s, sink);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(
+            optimal_prbp_cost(&g, PrbpConfig::new(2), SearchConfig::default()).unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn cache_of_one_is_unsolvable() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(2);
+        b.add_edge(n[0], n[1]);
+        let g = b.build().unwrap();
+        assert_eq!(
+            optimal_prbp_cost(&g, PrbpConfig::new(1), SearchConfig::default()),
+            Err(ExactError::Unsolvable)
+        );
+    }
+
+    #[test]
+    fn fig1_optimum_is_two_with_r4() {
+        // Proposition 4.2: OPT_PRBP = 2.
+        let f = fig1_full();
+        assert_eq!(
+            optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn fig1_gadget_alone_costs_four_with_r4() {
+        // The standalone 8-node gadget: 2 sources + 2 sinks = trivial cost 4,
+        // and PRBP achieves it.
+        let g = fig1_gadget();
+        assert_eq!(
+            optimal_prbp_cost(&g.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn optimal_trace_replays_to_optimal_cost() {
+        let f = fig1_full();
+        let (cost, trace) =
+            optimal_prbp_trace(&f.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap();
+        assert_eq!(cost, 2);
+        assert_eq!(trace.validate(&f.dag, PrbpConfig::new(4)).unwrap(), 2);
+    }
+
+    #[test]
+    fn prbp_never_beats_rbp_from_below_on_chain() {
+        // Sanity: on a plain chain both models have the same optimum.
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(4);
+        for w in n.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        let g = b.build().unwrap();
+        let rbp = super::super::optimal_rbp_cost(
+            &g,
+            crate::rbp::RbpConfig::new(2),
+            SearchConfig::default(),
+        )
+        .unwrap();
+        let prbp = optimal_prbp_cost(&g, PrbpConfig::new(2), SearchConfig::default()).unwrap();
+        assert_eq!(rbp, prbp);
+    }
+
+    #[test]
+    fn state_limit_is_reported() {
+        let f = fig1_full();
+        let result = optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::with_max_states(3));
+        assert!(matches!(result, Err(ExactError::StateLimitExceeded { .. })));
+    }
+}

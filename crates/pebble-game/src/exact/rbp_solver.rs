@@ -1,0 +1,322 @@
+//! Exact optimal-cost search for the (one-shot) red-blue pebble game.
+
+use super::{ExactError, SearchConfig};
+use crate::moves::RbpMove;
+use crate::rbp::RbpConfig;
+use crate::trace::RbpTrace;
+use pebble_dag::{BitSet, Dag, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A pebbling configuration of the RBP game.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct RbpState {
+    red: BitSet,
+    blue: BitSet,
+    computed: BitSet,
+}
+
+/// Optimal I/O cost of pebbling `dag` under `config`.
+pub fn optimal_rbp_cost(
+    dag: &Dag,
+    config: RbpConfig,
+    search: SearchConfig,
+) -> Result<usize, ExactError> {
+    solve(dag, config, search, false).map(|(cost, _)| cost)
+}
+
+/// Optimal I/O cost together with one optimal pebbling trace.
+pub fn optimal_rbp_trace(
+    dag: &Dag,
+    config: RbpConfig,
+    search: SearchConfig,
+) -> Result<(usize, RbpTrace), ExactError> {
+    let (cost, trace) = solve(dag, config, search, true)?;
+    Ok((cost, trace.expect("trace requested")))
+}
+
+fn solve(
+    dag: &Dag,
+    config: RbpConfig,
+    search: SearchConfig,
+    want_trace: bool,
+) -> Result<(usize, Option<RbpTrace>), ExactError> {
+    // Feasibility: computing a node of in-degree d needs d+1 simultaneous red
+    // pebbles (d with sliding, which reuses one of the input slots).
+    let needed = dag.max_in_degree() + usize::from(!config.allow_sliding);
+    if config.r < needed {
+        return Err(ExactError::Unsolvable);
+    }
+
+    let n = dag.node_count();
+    let sources: Vec<NodeId> = dag.sources();
+    let sinks: Vec<NodeId> = dag.sinks();
+
+    let mut initial_blue = BitSet::new(n);
+    for &s in &sources {
+        initial_blue.insert(s.index());
+    }
+    let start = RbpState {
+        red: BitSet::new(n),
+        blue: initial_blue,
+        computed: BitSet::new(n),
+    };
+
+    // Admissible heuristic: every source whose red pebble is absent while some
+    // successor is still uncomputed needs at least one more load; every sink
+    // without a blue pebble needs at least one more save.
+    let heuristic = |st: &RbpState| -> usize {
+        let mut h = 0;
+        for &s in &sources {
+            if !st.red.contains(s.index())
+                && dag.successors(s).any(|w| !st.computed.contains(w.index()))
+            {
+                h += 1;
+            }
+        }
+        for &t in &sinks {
+            if !st.blue.contains(t.index()) {
+                h += 1;
+            }
+        }
+        h
+    };
+
+    let is_goal =
+        |st: &RbpState| -> bool { sinks.iter().all(|t| st.blue.contains(t.index())) };
+
+    let mut states: Vec<RbpState> = vec![start.clone()];
+    let mut index: HashMap<RbpState, usize> = HashMap::new();
+    index.insert(start.clone(), 0);
+    let mut dist: Vec<usize> = vec![0];
+    let mut parent: Vec<Option<(usize, RbpMove)>> = vec![None];
+
+    let mut heap: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((heuristic(&start), 0, 0)));
+
+    while let Some(Reverse((_, g, idx))) = heap.pop() {
+        if g > dist[idx] {
+            continue;
+        }
+        let state = states[idx].clone();
+        if is_goal(&state) {
+            let trace = want_trace.then(|| reconstruct(&parent, idx));
+            return Ok((g, trace));
+        }
+        if states.len() > search.max_states {
+            return Err(ExactError::StateLimitExceeded { explored: states.len() });
+        }
+
+        let red_count = state.red.count();
+        let push_succ = |succ: RbpState,
+                             mv: RbpMove,
+                             cost: usize,
+                             states: &mut Vec<RbpState>,
+                             index: &mut HashMap<RbpState, usize>,
+                             dist: &mut Vec<usize>,
+                             parent: &mut Vec<Option<(usize, RbpMove)>>,
+                             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
+            let new_g = g + cost;
+            let succ_idx = match index.get(&succ) {
+                Some(&i) => i,
+                None => {
+                    let i = states.len();
+                    states.push(succ.clone());
+                    index.insert(succ, i);
+                    dist.push(usize::MAX);
+                    parent.push(None);
+                    i
+                }
+            };
+            if new_g < dist[succ_idx] {
+                dist[succ_idx] = new_g;
+                parent[succ_idx] = Some((idx, mv));
+                heap.push(Reverse((new_g + heuristic(&states[succ_idx]), new_g, succ_idx)));
+            }
+        };
+
+        for v in dag.nodes() {
+            let vi = v.index();
+            // Load.
+            if state.blue.contains(vi) && !state.red.contains(vi) && red_count < config.r {
+                let mut s = state.clone();
+                s.red.insert(vi);
+                push_succ(s, RbpMove::Load(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+            }
+            // Save.
+            if state.red.contains(vi) && !state.blue.contains(vi) {
+                let mut s = state.clone();
+                s.blue.insert(vi);
+                push_succ(s, RbpMove::Save(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+            }
+            // Compute (and slides).
+            if !dag.is_source(v)
+                && (config.allow_recompute || !state.computed.contains(vi))
+                && dag.predecessors(v).all(|u| state.red.contains(u.index()))
+            {
+                if state.red.contains(vi) || red_count < config.r {
+                    let mut s = state.clone();
+                    s.red.insert(vi);
+                    s.computed.insert(vi);
+                    push_succ(s, RbpMove::Compute(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                }
+                if config.allow_sliding {
+                    for &(u, _) in dag.in_edges(v) {
+                        let mut s = state.clone();
+                        s.red.remove(u.index());
+                        s.red.insert(vi);
+                        s.computed.insert(vi);
+                        push_succ(
+                            s,
+                            RbpMove::ComputeSlide { node: v, from: u },
+                            0,
+                            &mut states, &mut index, &mut dist, &mut parent, &mut heap,
+                        );
+                    }
+                }
+            }
+            // Delete. Without re-computation, deleting the only copy of a
+            // value that is still needed leads to a dead state, so we prune
+            // those deletions (this preserves optimality).
+            if !config.no_delete && state.red.contains(vi) {
+                let safe = config.allow_recompute
+                    || state.blue.contains(vi)
+                    || dag.successors(v).all(|w| state.computed.contains(w.index()));
+                if safe {
+                    let mut s = state.clone();
+                    s.red.remove(vi);
+                    push_succ(s, RbpMove::Delete(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                }
+            }
+        }
+    }
+    Err(ExactError::Unsolvable)
+}
+
+fn reconstruct(parent: &[Option<(usize, RbpMove)>], mut idx: usize) -> RbpTrace {
+    let mut moves = Vec::new();
+    while let Some((prev, mv)) = parent[idx] {
+        moves.push(mv);
+        idx = prev;
+    }
+    moves.reverse();
+    RbpTrace::from_moves(moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::generators::{binary_tree, fig1_full, pyramid};
+    use pebble_dag::DagBuilder;
+
+    #[test]
+    fn chain_has_trivial_cost_only() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(4);
+        for w in n.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(
+            optimal_rbp_cost(&g, RbpConfig::new(2), SearchConfig::default()).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn infeasible_when_cache_too_small() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[1], n[2]);
+        let g = b.build().unwrap();
+        assert_eq!(
+            optimal_rbp_cost(&g, RbpConfig::new(2), SearchConfig::default()),
+            Err(ExactError::Unsolvable)
+        );
+        // Sliding reduces the requirement by one pebble.
+        assert_eq!(
+            optimal_rbp_cost(&g, RbpConfig::new(2).with_sliding(), SearchConfig::default()).unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn fig1_optimum_is_three_with_r4() {
+        // Proposition 4.2: OPT_RBP = 3.
+        let f = fig1_full();
+        assert_eq!(
+            optimal_rbp_cost(&f.dag, RbpConfig::new(4), SearchConfig::default()).unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn fig1_recomputation_reaches_two() {
+        // Appendix B.1: with re-computation, OPT_RBP drops to 2 on Figure 1.
+        let f = fig1_full();
+        assert_eq!(
+            optimal_rbp_cost(
+                &f.dag,
+                RbpConfig::new(4).with_recompute(),
+                SearchConfig::default()
+            )
+            .unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn fig1_sliding_reaches_two() {
+        // Appendix B.2: with sliding pebbles, OPT_RBP also drops to 2 on Figure 1.
+        let f = fig1_full();
+        assert_eq!(
+            optimal_rbp_cost(
+                &f.dag,
+                RbpConfig::new(4).with_sliding(),
+                SearchConfig::default()
+            )
+            .unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn binary_tree_depth2_matches_formula() {
+        // Appendix A.2 formula: OPT_RBP = 2^d + 2^(d-1)·2 - ... for depth d with r = 3
+        // the non-trivial I/O is 2^d - 2 and the trivial cost is 2^d + 1.
+        let d = 2;
+        let g = binary_tree(d);
+        let expected = (1usize << d) + 1 + ((1usize << d) - 2);
+        assert_eq!(
+            optimal_rbp_cost(&g, RbpConfig::new(3), SearchConfig::default()).unwrap(),
+            expected
+        );
+    }
+
+    #[test]
+    fn optimal_trace_replays_to_optimal_cost() {
+        let f = fig1_full();
+        let (cost, trace) =
+            optimal_rbp_trace(&f.dag, RbpConfig::new(4), SearchConfig::default()).unwrap();
+        assert_eq!(cost, 3);
+        assert_eq!(trace.validate(&f.dag, RbpConfig::new(4)).unwrap(), 3);
+    }
+
+    #[test]
+    fn pyramid_with_ample_cache_has_trivial_cost() {
+        let p = pyramid(4);
+        let trivial = p.dag.trivial_cost();
+        assert_eq!(
+            optimal_rbp_cost(&p.dag, RbpConfig::new(10), SearchConfig::default()).unwrap(),
+            trivial
+        );
+    }
+
+    #[test]
+    fn state_limit_is_reported() {
+        let f = fig1_full();
+        let result = optimal_rbp_cost(&f.dag, RbpConfig::new(4), SearchConfig::with_max_states(3));
+        assert!(matches!(result, Err(ExactError::StateLimitExceeded { .. })));
+    }
+}

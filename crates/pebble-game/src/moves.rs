@@ -1,0 +1,180 @@
+//! Transition rules (moves) of the two pebble games.
+
+use pebble_dag::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which pebble game a cost or a solver refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// The original red-blue pebble game of Hong and Kung (one-shot).
+    Rbp,
+    /// The partial-computing red-blue pebble game (one-shot).
+    Prbp,
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Model::Rbp => write!(f, "RBP"),
+            Model::Prbp => write!(f, "PRBP"),
+        }
+    }
+}
+
+/// A move in the original red-blue pebble game (Section 1 of the paper),
+/// extended with the optional variant moves of Section 8.1 / Appendix B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RbpMove {
+    /// Rule 1 (*save*): place a blue pebble on a node holding a red pebble.
+    /// Costs 1.
+    Save(NodeId),
+    /// Rule 2 (*load*): place a red pebble on a node holding a blue pebble.
+    /// Costs 1.
+    Load(NodeId),
+    /// Rule 3 (*compute*): if all in-neighbours of a non-source node hold red
+    /// pebbles, place a red pebble on the node. Free.
+    Compute(NodeId),
+    /// Rule 4 (*delete*): remove a red pebble. Free.
+    Delete(NodeId),
+    /// Variant move (sliding-pebble model, Appendix B.2): if all in-neighbours
+    /// of `node` hold red pebbles, *move* the red pebble from in-neighbour
+    /// `from` onto `node`. Free. Only legal when
+    /// [`crate::rbp::RbpConfig::allow_sliding`] is set.
+    ComputeSlide {
+        /// The node being computed.
+        node: NodeId,
+        /// The in-neighbour whose red pebble slides onto `node`.
+        from: NodeId,
+    },
+}
+
+impl RbpMove {
+    /// I/O cost of the move (1 for load/save, 0 otherwise).
+    pub fn io_cost(&self) -> usize {
+        match self {
+            RbpMove::Save(_) | RbpMove::Load(_) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` if the move is a compute step (including slides).
+    pub fn is_compute(&self) -> bool {
+        matches!(self, RbpMove::Compute(_) | RbpMove::ComputeSlide { .. })
+    }
+}
+
+impl fmt::Display for RbpMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbpMove::Save(v) => write!(f, "save {v}"),
+            RbpMove::Load(v) => write!(f, "load {v}"),
+            RbpMove::Compute(v) => write!(f, "compute {v}"),
+            RbpMove::Delete(v) => write!(f, "delete {v}"),
+            RbpMove::ComputeSlide { node, from } => write!(f, "slide {from}->{node}"),
+        }
+    }
+}
+
+/// A move in the partial-computing red-blue pebble game (Section 3 of the
+/// paper), extended with the optional `clear` move of Appendix B.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrbpMove {
+    /// Rule 1 (*save*): replace a dark red pebble by a blue and a light red
+    /// pebble. Costs 1.
+    Save(NodeId),
+    /// Rule 2 (*load*): place a light red pebble on a node holding a blue
+    /// pebble. Costs 1.
+    Load(NodeId),
+    /// Rule 3 (*partial compute*): aggregate the value of `from` into `to`
+    /// along the unmarked edge `(from, to)`; all in-edges of `from` must be
+    /// marked, `from` must hold a red pebble and `to` must hold a red pebble
+    /// or no pebble at all. Replaces all pebbles on `to` by a dark red pebble
+    /// and marks the edge. Free.
+    PartialCompute {
+        /// The fully-computed input node.
+        from: NodeId,
+        /// The node whose value is being aggregated.
+        to: NodeId,
+    },
+    /// Rule 4 (*delete*): remove a light red pebble, or a dark red pebble from
+    /// a node all of whose out-edges are marked. Free.
+    Delete(NodeId),
+    /// Variant move (re-computation, Appendix B.1): remove all pebbles from a
+    /// non-source, non-sink node and unmark all of its in-edges, so the node
+    /// can be recomputed from scratch. Free. Only legal when
+    /// [`crate::prbp::PrbpConfig::allow_clear`] is set.
+    Clear(NodeId),
+}
+
+impl PrbpMove {
+    /// I/O cost of the move (1 for load/save, 0 otherwise).
+    pub fn io_cost(&self) -> usize {
+        match self {
+            PrbpMove::Save(_) | PrbpMove::Load(_) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` if the move is a partial compute step.
+    pub fn is_compute(&self) -> bool {
+        matches!(self, PrbpMove::PartialCompute { .. })
+    }
+}
+
+impl fmt::Display for PrbpMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrbpMove::Save(v) => write!(f, "save {v}"),
+            PrbpMove::Load(v) => write!(f, "load {v}"),
+            PrbpMove::PartialCompute { from, to } => write!(f, "pc ({from},{to})"),
+            PrbpMove::Delete(v) => write!(f, "delete {v}"),
+            PrbpMove::Clear(v) => write!(f, "clear {v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_costs() {
+        assert_eq!(RbpMove::Load(NodeId(0)).io_cost(), 1);
+        assert_eq!(RbpMove::Save(NodeId(0)).io_cost(), 1);
+        assert_eq!(RbpMove::Compute(NodeId(0)).io_cost(), 0);
+        assert_eq!(RbpMove::Delete(NodeId(0)).io_cost(), 0);
+        assert_eq!(
+            RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) }.io_cost(),
+            0
+        );
+        assert_eq!(PrbpMove::Load(NodeId(0)).io_cost(), 1);
+        assert_eq!(PrbpMove::Save(NodeId(0)).io_cost(), 1);
+        assert_eq!(
+            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) }.io_cost(),
+            0
+        );
+        assert_eq!(PrbpMove::Delete(NodeId(0)).io_cost(), 0);
+        assert_eq!(PrbpMove::Clear(NodeId(0)).io_cost(), 0);
+    }
+
+    #[test]
+    fn compute_classification() {
+        assert!(RbpMove::Compute(NodeId(0)).is_compute());
+        assert!(RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) }.is_compute());
+        assert!(!RbpMove::Load(NodeId(0)).is_compute());
+        assert!(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) }.is_compute());
+        assert!(!PrbpMove::Save(NodeId(0)).is_compute());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RbpMove::Load(NodeId(3)).to_string(), "load 3");
+        assert_eq!(
+            PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) }.to_string(),
+            "pc (1,2)"
+        );
+        assert_eq!(Model::Rbp.to_string(), "RBP");
+        assert_eq!(Model::Prbp.to_string(), "PRBP");
+    }
+}

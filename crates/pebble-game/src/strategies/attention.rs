@@ -1,0 +1,158 @@
+//! A streaming (FlashAttention-style) PRBP pebbling of the full attention DAG
+//! (Section 6.3.3, Theorem 6.11).
+//!
+//! The strategy processes the query rows in blocks of `b` rows. For each
+//! query block the (unnormalised) output accumulators stay dark red in fast
+//! memory while blocks of `b` key/value rows are streamed through; every
+//! streamed element is loaded exactly once per query block. In the large
+//! cache regime (`r ≥ Θ(d²)`) the I/O cost is `Θ(m²·d² / r)` — the shape of
+//! the Flash Attention upper bound matched by the Theorem 6.11 lower bound.
+
+use crate::moves::PrbpMove;
+use crate::trace::PrbpTrace;
+use pebble_dag::generators::AttentionFullDag;
+
+/// The query/key block size usable with cache size `r`: the query block
+/// (`b·d`), its output accumulators (`b·d`), one key block (`b·d`), one value
+/// block (`b·d`) and three scratch nodes must fit: `4·b·d + 3 ≤ r`.
+pub fn block_size(r: usize, d: usize) -> Option<usize> {
+    let b = (r.saturating_sub(3)) / (4 * d);
+    if b == 0 {
+        None
+    } else {
+        Some(b)
+    }
+}
+
+/// The streaming PRBP strategy for the full attention DAG. Requires
+/// `r ≥ 4·d + 3` (block size at least one row).
+pub fn prbp_streaming(att: &AttentionFullDag, r: usize) -> Option<PrbpTrace> {
+    let b = block_size(r, att.d)?;
+    let (m, d) = (att.m, att.d);
+    let pc = |from, to| PrbpMove::PartialCompute { from, to };
+    let mut t = PrbpTrace::new();
+    let mut i0 = 0;
+    while i0 < m {
+        let bi = b.min(m - i0);
+        // Load the query block; its rows stay resident for the whole sweep.
+        for i in i0..i0 + bi {
+            for kk in 0..d {
+                t.push(PrbpMove::Load(att.q[i][kk]));
+            }
+        }
+        let mut j0 = 0;
+        while j0 < m {
+            let bj = b.min(m - j0);
+            // Load the key and value blocks.
+            for j in j0..j0 + bj {
+                for kk in 0..d {
+                    t.push(PrbpMove::Load(att.k[j][kk]));
+                    t.push(PrbpMove::Load(att.v[j][kk]));
+                }
+            }
+            for i in i0..i0 + bi {
+                for j in j0..j0 + bj {
+                    // Score S_{ij} = Σ_kk Q_{i,kk}·K_{j,kk}.
+                    for kk in 0..d {
+                        let p = att
+                            .dag
+                            .successors(att.q[i][kk])
+                            .find(|&s| att.dag.has_edge(att.k[j][kk], s))
+                            .expect("score product node exists");
+                        t.push(pc(att.q[i][kk], p));
+                        t.push(pc(att.k[j][kk], p));
+                        t.push(pc(p, att.root[i][j]));
+                        t.push(PrbpMove::Delete(p));
+                    }
+                    // Exponentiate and fold into the output accumulators.
+                    t.push(pc(att.root[i][j], att.expv[i][j]));
+                    t.push(PrbpMove::Delete(att.root[i][j]));
+                    for kk in 0..d {
+                        let pv = att
+                            .dag
+                            .successors(att.expv[i][j])
+                            .find(|&s| att.dag.has_edge(att.v[j][kk], s))
+                            .expect("output product node exists");
+                        t.push(pc(att.expv[i][j], pv));
+                        t.push(pc(att.v[j][kk], pv));
+                        t.push(pc(pv, att.out[i][kk]));
+                        t.push(PrbpMove::Delete(pv));
+                    }
+                    t.push(PrbpMove::Delete(att.expv[i][j]));
+                }
+            }
+            // Drop the key/value blocks.
+            for j in j0..j0 + bj {
+                for kk in 0..d {
+                    t.push(PrbpMove::Delete(att.k[j][kk]));
+                    t.push(PrbpMove::Delete(att.v[j][kk]));
+                }
+            }
+            j0 += bj;
+        }
+        // Write the finished output rows back and drop the query block.
+        for i in i0..i0 + bi {
+            for kk in 0..d {
+                t.push(PrbpMove::Save(att.out[i][kk]));
+                t.push(PrbpMove::Delete(att.out[i][kk]));
+                t.push(PrbpMove::Delete(att.q[i][kk]));
+            }
+        }
+        i0 += bi;
+    }
+    Some(t)
+}
+
+/// The analytic I/O cost of [`prbp_streaming`]: `m·d` query loads, `2·m·d`
+/// key/value loads per query block and `m·d` output saves.
+pub fn streaming_cost_estimate(m: usize, d: usize, r: usize) -> Option<usize> {
+    let b = block_size(r, d)?;
+    let query_blocks = m.div_ceil(b);
+    Some(m * d + 2 * m * d * query_blocks + m * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prbp::PrbpConfig;
+    use pebble_dag::generators::attention_full;
+
+    #[test]
+    fn block_size_grows_with_cache() {
+        assert_eq!(block_size(10, 2), None);
+        assert_eq!(block_size(11, 2), Some(1));
+        assert_eq!(block_size(19, 2), Some(2));
+        assert_eq!(block_size(67, 2), Some(8));
+        assert_eq!(block_size(35, 4), Some(2));
+    }
+
+    #[test]
+    fn streaming_strategy_is_valid_and_matches_estimate() {
+        for (m, d, r) in [(3usize, 2usize, 11usize), (4, 2, 19), (4, 2, 35), (3, 3, 15), (6, 2, 19)] {
+            let att = attention_full(m, d);
+            let trace = prbp_streaming(&att, r).expect("streaming strategy exists");
+            let cost = trace.validate(&att.dag, PrbpConfig::new(r)).unwrap();
+            assert_eq!(cost, streaming_cost_estimate(m, d, r).unwrap(), "m={m} d={d} r={r}");
+        }
+    }
+
+    #[test]
+    fn larger_cache_reduces_streaming_cost() {
+        let att = attention_full(8, 2);
+        let small = prbp_streaming(&att, 11)
+            .unwrap()
+            .validate(&att.dag, PrbpConfig::new(11))
+            .unwrap();
+        let large = prbp_streaming(&att, 67)
+            .unwrap()
+            .validate(&att.dag, PrbpConfig::new(67))
+            .unwrap();
+        assert!(large < small);
+    }
+
+    #[test]
+    fn rejects_too_small_cache() {
+        let att = attention_full(3, 2);
+        assert!(prbp_streaming(&att, 10).is_none());
+    }
+}

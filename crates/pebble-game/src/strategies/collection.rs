@@ -1,0 +1,154 @@
+//! Strategies for the pebble-collection gadget (Section 4.2.3, Figure 2
+//! right, Proposition 4.6).
+//!
+//! With `d + 2` red pebbles the gadget is pebbled at the trivial cost (all
+//! sources stay resident while the chain is traversed); with fewer pebbles
+//! every `Θ(d)` chain steps force a reload, matching the `ℓ / 2d` lower bound
+//! of Proposition 4.6 up to a constant factor.
+
+use crate::moves::{PrbpMove, RbpMove};
+use crate::trace::{PrbpTrace, RbpTrace};
+use pebble_dag::generators::PebbleCollection;
+
+/// RBP strategy with `r = d + 2`: all sources resident, chain traversed once;
+/// only the trivial cost `d + 1`.
+pub fn rbp_full_cache(p: &PebbleCollection) -> RbpTrace {
+    let mut t = RbpTrace::new();
+    for &s in &p.sources {
+        t.push(RbpMove::Load(s));
+    }
+    for (i, &c) in p.chain.iter().enumerate() {
+        t.push(RbpMove::Compute(c));
+        if i > 0 {
+            t.push(RbpMove::Delete(p.chain[i - 1]));
+        }
+    }
+    let last = *p.chain.last().expect("non-empty chain");
+    t.push(RbpMove::Save(last));
+    t
+}
+
+/// PRBP strategy with `r = d + 2`: all sources resident, chain traversed once;
+/// only the trivial cost `d + 1`.
+pub fn prbp_full_cache(p: &PebbleCollection) -> PrbpTrace {
+    let pc = |from, to| PrbpMove::PartialCompute { from, to };
+    let d = p.sources.len();
+    let mut t = PrbpTrace::new();
+    for &s in &p.sources {
+        t.push(PrbpMove::Load(s));
+    }
+    for (i, &c) in p.chain.iter().enumerate() {
+        t.push(pc(p.sources[i % d], c));
+        if i > 0 {
+            t.push(pc(p.chain[i - 1], c));
+            t.push(PrbpMove::Delete(p.chain[i - 1]));
+        }
+    }
+    let last = *p.chain.last().expect("non-empty chain");
+    t.push(PrbpMove::Save(last));
+    t
+}
+
+/// PRBP strategy for a restricted cache `3 ≤ r < d + 2`: only `r − 2` sources
+/// stay resident; whenever the chain needs one of the missing sources it is
+/// loaded and immediately dropped again. The cost is the trivial `d + 1` plus
+/// roughly `ℓ·(d − r + 2)/d` extra loads, within a constant factor of the
+/// `ℓ/2d` lower bound of Proposition 4.6 (for `r = d + 1`).
+pub fn prbp_restricted(p: &PebbleCollection, r: usize) -> Option<PrbpTrace> {
+    let d = p.sources.len();
+    if r < 3 || r >= d + 2 {
+        return None;
+    }
+    let resident = r - 2;
+    let pc = |from, to| PrbpMove::PartialCompute { from, to };
+    let mut t = PrbpTrace::new();
+    for &s in &p.sources[..resident] {
+        t.push(PrbpMove::Load(s));
+    }
+    for (i, &c) in p.chain.iter().enumerate() {
+        let src_idx = i % d;
+        let src = p.sources[src_idx];
+        if src_idx < resident {
+            t.push(pc(src, c));
+        } else {
+            // Borrow the slot of the previous chain node: fold it in first,
+            // then drop it, load the missing source, aggregate, drop it again.
+            if i > 0 {
+                t.push(pc(p.chain[i - 1], c));
+                t.push(PrbpMove::Delete(p.chain[i - 1]));
+            }
+            t.push(PrbpMove::Load(src));
+            t.push(pc(src, c));
+            t.push(PrbpMove::Delete(src));
+            continue;
+        }
+        if i > 0 {
+            t.push(pc(p.chain[i - 1], c));
+            t.push(PrbpMove::Delete(p.chain[i - 1]));
+        }
+    }
+    let last = *p.chain.last().expect("non-empty chain");
+    t.push(PrbpMove::Save(last));
+    Some(t)
+}
+
+/// The Proposition 4.6 lower bound on the I/O cost of any PRBP strategy that
+/// never holds `d + 2` red pebbles on the gadget simultaneously: `ℓ / 2d`.
+pub fn restricted_lower_bound(d: usize, chain_len: usize) -> usize {
+    chain_len / (2 * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prbp::PrbpConfig;
+    use crate::rbp::RbpConfig;
+    use pebble_dag::generators::pebble_collection;
+
+    #[test]
+    fn full_cache_strategies_cost_only_trivial() {
+        for (d, len) in [(3usize, 9usize), (4, 12), (5, 21)] {
+            let p = pebble_collection(d, len);
+            let rbp_cost = rbp_full_cache(&p)
+                .validate(&p.dag, RbpConfig::new(d + 2))
+                .unwrap();
+            assert_eq!(rbp_cost, d + 1, "RBP d={d}");
+            let prbp_cost = prbp_full_cache(&p)
+                .validate(&p.dag, PrbpConfig::new(d + 2))
+                .unwrap();
+            assert_eq!(prbp_cost, d + 1, "PRBP d={d}");
+        }
+    }
+
+    #[test]
+    fn full_cache_strategies_need_d_plus_two() {
+        let p = pebble_collection(4, 8);
+        assert!(rbp_full_cache(&p).validate(&p.dag, RbpConfig::new(5)).is_err());
+        assert!(prbp_full_cache(&p).validate(&p.dag, PrbpConfig::new(5)).is_err());
+    }
+
+    #[test]
+    fn restricted_strategy_is_valid_and_respects_lower_bound() {
+        for (d, len, r) in [(4usize, 16usize, 5usize), (4, 16, 4), (6, 36, 7), (6, 36, 5)] {
+            let p = pebble_collection(d, len);
+            let trace = prbp_restricted(&p, r).expect("restricted strategy exists");
+            let cost = trace.validate(&p.dag, PrbpConfig::new(r)).unwrap();
+            let trivial = d + 1;
+            let extra = cost - trivial;
+            // Proposition 4.6: any strategy that never collects d + 2 pebbles
+            // pays at least ℓ/2d beyond nothing; ours is within a small factor.
+            assert!(extra >= restricted_lower_bound(d, len), "d={d} r={r}");
+            // Missing sources are hit (d − r + 2) times out of every d steps.
+            let expected_extra = len.div_ceil(d) * (d - (r - 2));
+            assert!(extra <= expected_extra, "d={d} r={r}: {extra} > {expected_extra}");
+        }
+    }
+
+    #[test]
+    fn restricted_strategy_rejects_bad_cache_sizes() {
+        let p = pebble_collection(4, 8);
+        assert!(prbp_restricted(&p, 2).is_none());
+        assert!(prbp_restricted(&p, 6).is_none());
+        assert!(prbp_restricted(&p, 5).is_some());
+    }
+}

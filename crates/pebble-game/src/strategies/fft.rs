@@ -1,0 +1,146 @@
+//! Blocked pebbling of the m-point FFT butterfly (Section 6.3.1).
+//!
+//! The butterfly is processed in *superstages* of `s = ⌊log₂ r⌋ − 1`
+//! consecutive stages. Within a superstage, the rows split into independent
+//! classes of `2^s` positions (the positions agreeing on all bits outside the
+//! superstage's bit window); each class is loaded once, computed entirely in
+//! fast memory and written back once. The resulting I/O cost is
+//! `Θ(m·log m / log r)`, matching the Theorem 6.9 lower bound up to a
+//! constant factor.
+
+use crate::convert::rbp_to_prbp;
+use crate::moves::RbpMove;
+use crate::trace::{PrbpTrace, RbpTrace};
+use pebble_dag::generators::FftDag;
+
+/// Number of stages per superstage for cache size `r`: the largest `s ≥ 1`
+/// with `2^(s+1) ≤ r`. Returns `None` for `r < 4`.
+pub fn stages_per_superstage(r: usize) -> Option<usize> {
+    if r < 4 {
+        return None;
+    }
+    let mut s = 1usize;
+    while (1usize << (s + 2)) <= r {
+        s += 1;
+    }
+    Some(s)
+}
+
+/// The analytic cost of the blocked strategy: `2·m` I/Os per superstage.
+pub fn blocked_cost_estimate(m: usize, r: usize) -> Option<usize> {
+    let s = stages_per_superstage(r)?;
+    let stages = m.trailing_zeros() as usize;
+    Some(2 * m * stages.div_ceil(s))
+}
+
+/// The blocked RBP strategy for the FFT DAG. Requires `r ≥ 4`.
+pub fn rbp_blocked(fft: &FftDag, r: usize) -> Option<RbpTrace> {
+    let s = stages_per_superstage(r)?;
+    let m = fft.m;
+    let mut t = RbpTrace::new();
+    let mut l0 = 0usize;
+    while l0 < fft.stages {
+        let width = s.min(fft.stages - l0);
+        let class_size = 1usize << width;
+        // A class is the set of positions sharing all bits outside the window
+        // [l0, l0 + width); its members are base + (j << l0) for j < 2^width.
+        for base_high in 0..(m >> (l0 + width)) {
+            for base_low in 0..(1usize << l0) {
+                let base = (base_high << (l0 + width)) | base_low;
+                let members: Vec<usize> = (0..class_size).map(|j| base | (j << l0)).collect();
+                // Load the superstage inputs.
+                for &pos in &members {
+                    t.push(RbpMove::Load(fft.layers[l0][pos]));
+                }
+                // Compute the stages of the superstage entirely in cache.
+                for l in l0..l0 + width {
+                    for &pos in &members {
+                        t.push(RbpMove::Compute(fft.layers[l + 1][pos]));
+                    }
+                    for &pos in &members {
+                        t.push(RbpMove::Delete(fft.layers[l][pos]));
+                    }
+                }
+                // Write back the superstage outputs.
+                for &pos in &members {
+                    t.push(RbpMove::Save(fft.layers[l0 + width][pos]));
+                    t.push(RbpMove::Delete(fft.layers[l0 + width][pos]));
+                }
+            }
+        }
+        l0 += width;
+    }
+    Some(t)
+}
+
+/// The blocked strategy converted to PRBP (Proposition 4.1); same cost.
+pub fn prbp_blocked(fft: &FftDag, r: usize) -> Option<PrbpTrace> {
+    let rbp = rbp_blocked(fft, r)?;
+    rbp_to_prbp(&fft.dag, &rbp, r).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prbp::PrbpConfig;
+    use crate::rbp::RbpConfig;
+    use pebble_dag::generators::fft;
+
+    #[test]
+    fn superstage_width_grows_with_cache() {
+        assert_eq!(stages_per_superstage(3), None);
+        assert_eq!(stages_per_superstage(4), Some(1));
+        assert_eq!(stages_per_superstage(7), Some(1));
+        assert_eq!(stages_per_superstage(8), Some(2));
+        assert_eq!(stages_per_superstage(16), Some(3));
+        assert_eq!(stages_per_superstage(64), Some(5));
+    }
+
+    #[test]
+    fn blocked_strategy_is_valid_for_various_sizes() {
+        for (m, r) in [(8usize, 4usize), (8, 8), (16, 8), (16, 16), (32, 8), (64, 16)] {
+            let f = fft(m);
+            let trace = rbp_blocked(&f, r).expect("strategy exists");
+            let cost = trace.validate(&f.dag, RbpConfig::new(r)).unwrap();
+            assert_eq!(cost, blocked_cost_estimate(m, r).unwrap(), "m={m} r={r}");
+            assert!(cost >= f.dag.trivial_cost());
+        }
+    }
+
+    #[test]
+    fn prbp_conversion_preserves_cost() {
+        let f = fft(16);
+        let rbp_cost = rbp_blocked(&f, 8)
+            .unwrap()
+            .validate(&f.dag, RbpConfig::new(8))
+            .unwrap();
+        let prbp = prbp_blocked(&f, 8).unwrap();
+        let prbp_cost = prbp.validate(&f.dag, PrbpConfig::new(8)).unwrap();
+        assert_eq!(prbp_cost, rbp_cost);
+    }
+
+    #[test]
+    fn bigger_cache_means_fewer_ios() {
+        let f = fft(64);
+        let small = rbp_blocked(&f, 4).unwrap().validate(&f.dag, RbpConfig::new(4)).unwrap();
+        let medium = rbp_blocked(&f, 16).unwrap().validate(&f.dag, RbpConfig::new(16)).unwrap();
+        let large = rbp_blocked(&f, 128).unwrap().validate(&f.dag, RbpConfig::new(128)).unwrap();
+        assert!(small > medium);
+        assert!(medium > large);
+    }
+
+    #[test]
+    fn cost_scales_like_m_log_m_over_log_r() {
+        // Doubling log2(r) should roughly halve the number of superstages.
+        let c8 = blocked_cost_estimate(256, 8).unwrap(); // s = 2 -> 4 superstages
+        let c64 = blocked_cost_estimate(256, 64).unwrap(); // s = 5 -> 2 superstages
+        assert_eq!(c8, 2 * 256 * 4);
+        assert_eq!(c64, 2 * 256 * 2);
+    }
+
+    #[test]
+    fn rejects_too_small_cache() {
+        let f = fft(8);
+        assert!(rbp_blocked(&f, 3).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Strategies for standard matrix multiplication (Theorem 6.10).
+//!
+//! * [`prbp_tiled`]: the classic `√r × √r` output tiling, which relies on
+//!   partial computations to keep the tile of `C` accumulating in fast memory
+//!   while panels of `A` and `B` are streamed. I/O cost
+//!   `Θ(m₁·m₂·m₃ / √r)`, matching the Theorem 6.10 lower bound.
+//! * [`rbp_naive`]: the straightforward RBP baseline that computes one output
+//!   entry at a time and reloads its operands, costing `Θ(m₁·m₂·m₃)`.
+
+use crate::moves::{PrbpMove, RbpMove};
+use crate::trace::{PrbpTrace, RbpTrace};
+use pebble_dag::generators::MatMulDag;
+
+/// The largest square tile size usable with cache size `r`: the tile of `C`
+/// (`t²` accumulators), one column slice of `A` (`t`), one row slice of `B`
+/// (`t`) and one scratch product must fit, i.e. `t² + 2t + 1 ≤ r`.
+pub fn tile_size(r: usize) -> Option<usize> {
+    let mut t = 0usize;
+    while (t + 1) * (t + 1) + 2 * (t + 1) + 1 <= r {
+        t += 1;
+    }
+    if t == 0 {
+        None
+    } else {
+        Some(t)
+    }
+}
+
+/// The PRBP tiled strategy. Requires `r ≥ 4` (tile size 1). The output matrix
+/// is processed in `t × t` tiles; for each tile all `m₂` rank-1 updates are
+/// streamed through fast memory.
+pub fn prbp_tiled(mm: &MatMulDag, r: usize) -> Option<PrbpTrace> {
+    let t = tile_size(r)?;
+    let (m1, m2, m3) = mm.dims;
+    let pc = |from, to| PrbpMove::PartialCompute { from, to };
+    let mut trace = PrbpTrace::new();
+    let mut i0 = 0;
+    while i0 < m1 {
+        let ti = t.min(m1 - i0);
+        let mut j0 = 0;
+        while j0 < m3 {
+            let tj = t.min(m3 - j0);
+            for k in 0..m2 {
+                // Load the A column slice and the B row slice for this k.
+                for i in i0..i0 + ti {
+                    trace.push(PrbpMove::Load(mm.a[i][k]));
+                }
+                for j in j0..j0 + tj {
+                    trace.push(PrbpMove::Load(mm.b[k][j]));
+                }
+                // Rank-1 update of the C tile.
+                for i in i0..i0 + ti {
+                    for j in j0..j0 + tj {
+                        let p = mm.prod[i][j][k];
+                        trace.push(pc(mm.a[i][k], p));
+                        trace.push(pc(mm.b[k][j], p));
+                        trace.push(pc(p, mm.c[i][j]));
+                        trace.push(PrbpMove::Delete(p));
+                    }
+                }
+                // Drop the slices (light red pebbles: free).
+                for i in i0..i0 + ti {
+                    trace.push(PrbpMove::Delete(mm.a[i][k]));
+                }
+                for j in j0..j0 + tj {
+                    trace.push(PrbpMove::Delete(mm.b[k][j]));
+                }
+            }
+            // Write the finished tile back.
+            for i in i0..i0 + ti {
+                for j in j0..j0 + tj {
+                    trace.push(PrbpMove::Save(mm.c[i][j]));
+                    trace.push(PrbpMove::Delete(mm.c[i][j]));
+                }
+            }
+            j0 += tj;
+        }
+        i0 += ti;
+    }
+    Some(trace)
+}
+
+/// The analytic I/O cost of [`prbp_tiled`] with tile size `t` (full tiles):
+/// `m₂·(t_i + t_j)` loads per tile plus one save per output entry.
+pub fn tiled_cost_estimate(mm: &MatMulDag, r: usize) -> Option<usize> {
+    let t = tile_size(r)?;
+    let (m1, m2, m3) = mm.dims;
+    let mut loads = 0usize;
+    let mut i0 = 0;
+    while i0 < m1 {
+        let ti = t.min(m1 - i0);
+        let mut j0 = 0;
+        while j0 < m3 {
+            let tj = t.min(m3 - j0);
+            loads += m2 * (ti + tj);
+            j0 += tj;
+        }
+        i0 += ti;
+    }
+    Some(loads + m1 * m3)
+}
+
+/// The naive RBP baseline: each output entry is computed on its own, loading
+/// both operands of every multiplication. Requires `r ≥ m₂ + 3`.
+pub fn rbp_naive(mm: &MatMulDag, r: usize) -> Option<RbpTrace> {
+    let (m1, m2, m3) = mm.dims;
+    if r < m2 + 3 {
+        return None;
+    }
+    let mut trace = RbpTrace::new();
+    for i in 0..m1 {
+        for j in 0..m3 {
+            for k in 0..m2 {
+                trace.push(RbpMove::Load(mm.a[i][k]));
+                trace.push(RbpMove::Load(mm.b[k][j]));
+                trace.push(RbpMove::Compute(mm.prod[i][j][k]));
+                trace.push(RbpMove::Delete(mm.a[i][k]));
+                trace.push(RbpMove::Delete(mm.b[k][j]));
+            }
+            trace.push(RbpMove::Compute(mm.c[i][j]));
+            trace.push(RbpMove::Save(mm.c[i][j]));
+            trace.push(RbpMove::Delete(mm.c[i][j]));
+            for k in 0..m2 {
+                trace.push(RbpMove::Delete(mm.prod[i][j][k]));
+            }
+        }
+    }
+    Some(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prbp::PrbpConfig;
+    use crate::rbp::RbpConfig;
+    use pebble_dag::generators::matmul;
+
+    #[test]
+    fn tile_size_grows_with_cache() {
+        assert_eq!(tile_size(3), None);
+        assert_eq!(tile_size(4), Some(1));
+        assert_eq!(tile_size(8), Some(1));
+        assert_eq!(tile_size(9), Some(2));
+        assert_eq!(tile_size(16), Some(3));
+        assert_eq!(tile_size(100), Some(9));
+    }
+
+    #[test]
+    fn tiled_strategy_is_valid_and_matches_estimate() {
+        for (dims, r) in [((3usize, 3usize, 3usize), 9usize), ((4, 4, 4), 16), ((4, 5, 6), 9), ((6, 6, 6), 24)] {
+            let mm = matmul(dims.0, dims.1, dims.2);
+            let trace = prbp_tiled(&mm, r).expect("tiled strategy exists");
+            let cost = trace.validate(&mm.dag, PrbpConfig::new(r)).unwrap();
+            assert_eq!(cost, tiled_cost_estimate(&mm, r).unwrap(), "{dims:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn naive_rbp_is_valid_and_much_more_expensive() {
+        let mm = matmul(4, 4, 4);
+        let r = 4 + 3;
+        let naive = rbp_naive(&mm, r).unwrap().validate(&mm.dag, RbpConfig::new(r)).unwrap();
+        assert_eq!(naive, 2 * 64 + 16);
+        let tiled = prbp_tiled(&mm, 16)
+            .unwrap()
+            .validate(&mm.dag, PrbpConfig::new(16))
+            .unwrap();
+        assert!(tiled < naive);
+    }
+
+    #[test]
+    fn bigger_cache_reduces_tiled_cost() {
+        let mm = matmul(8, 8, 8);
+        let small = prbp_tiled(&mm, 9).unwrap().validate(&mm.dag, PrbpConfig::new(9)).unwrap();
+        let large = prbp_tiled(&mm, 36).unwrap().validate(&mm.dag, PrbpConfig::new(36)).unwrap();
+        assert!(large < small);
+    }
+
+    #[test]
+    fn rejects_too_small_caches() {
+        let mm = matmul(3, 3, 3);
+        assert!(prbp_tiled(&mm, 3).is_none());
+        assert!(rbp_naive(&mm, 5).is_none());
+    }
+
+    #[test]
+    fn matvec_special_case_is_handled() {
+        // m3 = 1 degenerates to matrix-vector multiplication and still works.
+        let mm = matmul(4, 4, 1);
+        let trace = prbp_tiled(&mm, 9).unwrap();
+        assert!(trace.validate(&mm.dag, PrbpConfig::new(9)).is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! Strategies for matrix–vector multiplication (Proposition 4.3).
+//!
+//! * [`prbp_streaming`]: keeps the `m` partially computed output entries in
+//!   fast memory and streams the matrix column by column, using only three
+//!   further red pebbles — total cost `m² + 2m` (the trivial cost), for any
+//!   `r ≥ m + 3`.
+//! * [`rbp_row_by_row`]: the matching RBP strategy with `r = 2m` that computes
+//!   one output entry at a time and pays one extra reload per consecutive
+//!   output pair — total cost `m² + 3m − 1`, matching the RBP lower bound of
+//!   Proposition 4.3 exactly.
+
+use crate::moves::{PrbpMove, RbpMove};
+use crate::trace::{PrbpTrace, RbpTrace};
+use pebble_dag::generators::MatVecDag;
+
+/// PRBP streaming strategy of cost `m² + 2m`; requires `r ≥ m + 3`.
+pub fn prbp_streaming(mv: &MatVecDag) -> PrbpTrace {
+    let m = mv.m;
+    let pc = |from, to| PrbpMove::PartialCompute { from, to };
+    let mut t = PrbpTrace::new();
+    for i in 0..m {
+        t.push(PrbpMove::Load(mv.x[i]));
+        for j in 0..m {
+            t.push(PrbpMove::Load(mv.a[j][i]));
+            t.push(pc(mv.a[j][i], mv.prod[j][i]));
+            t.push(pc(mv.x[i], mv.prod[j][i]));
+            t.push(PrbpMove::Delete(mv.a[j][i]));
+            t.push(pc(mv.prod[j][i], mv.y[j]));
+            t.push(PrbpMove::Delete(mv.prod[j][i]));
+        }
+        t.push(PrbpMove::Delete(mv.x[i]));
+    }
+    for j in 0..m {
+        t.push(PrbpMove::Save(mv.y[j]));
+    }
+    t
+}
+
+/// RBP strategy of cost `m² + 3m − 1` with `r = 2m`; requires `m ≥ 2`.
+///
+/// All `m` vector entries are kept resident; for each output row the last
+/// product forces one vector entry (`x₀`) to be evicted, which is reloaded at
+/// the start of the next row — `m − 1` non-trivial loads in total.
+pub fn rbp_row_by_row(mv: &MatVecDag) -> RbpTrace {
+    let m = mv.m;
+    assert!(m >= 2, "row-by-row strategy needs m >= 2");
+    let mut t = RbpTrace::new();
+    for i in 0..m {
+        t.push(RbpMove::Load(mv.x[i]));
+    }
+    for j in 0..m {
+        // Products for columns 0..m-1 while all x entries are resident.
+        for i in 0..m - 1 {
+            t.push(RbpMove::Load(mv.a[j][i]));
+            t.push(RbpMove::Compute(mv.prod[j][i]));
+            t.push(RbpMove::Delete(mv.a[j][i]));
+        }
+        // The last product needs one extra slot: evict x₀ (it has a blue
+        // pebble, so the delete is free) and restore it for the next row.
+        t.push(RbpMove::Delete(mv.x[0]));
+        t.push(RbpMove::Load(mv.a[j][m - 1]));
+        t.push(RbpMove::Compute(mv.prod[j][m - 1]));
+        t.push(RbpMove::Delete(mv.a[j][m - 1]));
+        t.push(RbpMove::Compute(mv.y[j]));
+        t.push(RbpMove::Save(mv.y[j]));
+        t.push(RbpMove::Delete(mv.y[j]));
+        for i in 0..m {
+            t.push(RbpMove::Delete(mv.prod[j][i]));
+        }
+        if j + 1 < m {
+            t.push(RbpMove::Load(mv.x[0]));
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prbp::PrbpConfig;
+    use crate::rbp::RbpConfig;
+    use pebble_dag::generators::matvec;
+
+    #[test]
+    fn prbp_streaming_achieves_trivial_cost() {
+        for m in [3usize, 4, 6, 10] {
+            let mv = matvec(m);
+            let trace = prbp_streaming(&mv);
+            let cost = trace.validate(&mv.dag, PrbpConfig::new(m + 3)).unwrap();
+            assert_eq!(cost, mv.trivial_cost(), "m={m}");
+            assert_eq!(cost, m * m + 2 * m);
+        }
+    }
+
+    #[test]
+    fn prbp_streaming_needs_m_plus_three_pebbles() {
+        let mv = matvec(5);
+        let trace = prbp_streaming(&mv);
+        assert!(trace.validate(&mv.dag, PrbpConfig::new(7)).is_err());
+        assert!(trace.validate(&mv.dag, PrbpConfig::new(8)).is_ok());
+    }
+
+    #[test]
+    fn rbp_row_by_row_matches_lower_bound_exactly() {
+        for m in [3usize, 4, 6, 10] {
+            let mv = matvec(m);
+            let trace = rbp_row_by_row(&mv);
+            let cost = trace.validate(&mv.dag, RbpConfig::new(2 * m)).unwrap();
+            assert_eq!(cost, mv.rbp_lower_bound(), "m={m}");
+            assert_eq!(cost, m * m + 3 * m - 1);
+        }
+    }
+
+    #[test]
+    fn rbp_row_by_row_needs_two_m_pebbles() {
+        let mv = matvec(4);
+        let trace = rbp_row_by_row(&mv);
+        assert!(trace.validate(&mv.dag, RbpConfig::new(7)).is_err());
+        assert!(trace.validate(&mv.dag, RbpConfig::new(8)).is_ok());
+    }
+
+    #[test]
+    fn proposition_4_3_gap() {
+        // For m >= 3 and m + 3 <= r <= 2m, the PRBP strategy beats the RBP
+        // lower bound: OPT_PRBP <= m² + 2m < m² + 3m − 1 <= OPT_RBP.
+        for m in [3usize, 5, 8] {
+            let mv = matvec(m);
+            let prbp_cost = prbp_streaming(&mv)
+                .validate(&mv.dag, PrbpConfig::new(m + 3))
+                .unwrap();
+            assert!(prbp_cost < mv.rbp_lower_bound());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Recorded pebbling strategies (traces) that can be replayed, validated,
+//! printed and serialised.
+
+use crate::moves::{PrbpMove, RbpMove};
+use crate::prbp::{PrbpConfig, PrbpError, PrbpGame};
+use crate::rbp::{RbpConfig, RbpError, RbpGame};
+use pebble_dag::Dag;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A recorded sequence of RBP moves.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RbpTrace {
+    /// The moves in execution order.
+    pub moves: Vec<RbpMove>,
+}
+
+impl RbpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a trace from a move list.
+    pub fn from_moves(moves: Vec<RbpMove>) -> Self {
+        RbpTrace { moves }
+    }
+
+    /// Append a move.
+    pub fn push(&mut self, mv: RbpMove) {
+        self.moves.push(mv);
+    }
+
+    /// Number of moves.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Returns `true` if the trace contains no moves.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// I/O cost of the trace (number of loads + saves), computed without
+    /// validation.
+    pub fn io_cost(&self) -> usize {
+        self.moves.iter().map(|m| m.io_cost()).sum()
+    }
+
+    /// Number of compute steps (including slides).
+    pub fn compute_steps(&self) -> usize {
+        self.moves.iter().filter(|m| m.is_compute()).count()
+    }
+
+    /// Replay the trace on `dag` under `config`, checking every move and the
+    /// terminal condition. Returns the validated I/O cost.
+    pub fn validate(&self, dag: &Dag, config: RbpConfig) -> Result<usize, TraceError<RbpError>> {
+        let mut game = RbpGame::new(dag, config);
+        for (i, &mv) in self.moves.iter().enumerate() {
+            game.apply(mv).map_err(|error| TraceError::InvalidMove {
+                index: i,
+                description: mv.to_string(),
+                error,
+            })?;
+        }
+        if !game.is_terminal() {
+            return Err(TraceError::NotTerminal);
+        }
+        Ok(game.io_cost())
+    }
+}
+
+impl fmt::Display for RbpTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, mv) in self.moves.iter().enumerate() {
+            writeln!(f, "{i:>4}: {mv}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A recorded sequence of PRBP moves.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrbpTrace {
+    /// The moves in execution order.
+    pub moves: Vec<PrbpMove>,
+}
+
+impl PrbpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a trace from a move list.
+    pub fn from_moves(moves: Vec<PrbpMove>) -> Self {
+        PrbpTrace { moves }
+    }
+
+    /// Append a move.
+    pub fn push(&mut self, mv: PrbpMove) {
+        self.moves.push(mv);
+    }
+
+    /// Number of moves.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Returns `true` if the trace contains no moves.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// I/O cost of the trace (number of loads + saves), computed without
+    /// validation.
+    pub fn io_cost(&self) -> usize {
+        self.moves.iter().map(|m| m.io_cost()).sum()
+    }
+
+    /// Number of partial compute steps.
+    pub fn compute_steps(&self) -> usize {
+        self.moves.iter().filter(|m| m.is_compute()).count()
+    }
+
+    /// Replay the trace on `dag` under `config`, checking every move and the
+    /// terminal condition. Returns the validated I/O cost.
+    pub fn validate(&self, dag: &Dag, config: PrbpConfig) -> Result<usize, TraceError<PrbpError>> {
+        let mut game = PrbpGame::new(dag, config);
+        for (i, &mv) in self.moves.iter().enumerate() {
+            game.apply(mv).map_err(|error| TraceError::InvalidMove {
+                index: i,
+                description: mv.to_string(),
+                error,
+            })?;
+        }
+        if !game.is_terminal() {
+            return Err(TraceError::NotTerminal);
+        }
+        Ok(game.io_cost())
+    }
+}
+
+impl fmt::Display for PrbpTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, mv) in self.moves.iter().enumerate() {
+            writeln!(f, "{i:>4}: {mv}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised when validating a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError<E> {
+    /// A move was rejected by the simulator.
+    InvalidMove {
+        /// Index of the offending move within the trace.
+        index: usize,
+        /// Human-readable rendering of the move.
+        description: String,
+        /// The simulator error.
+        error: E,
+    },
+    /// All moves were legal but the final state is not terminal.
+    NotTerminal,
+}
+
+impl<E: fmt::Display> fmt::Display for TraceError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidMove { index, description, error } => {
+                write!(f, "move {index} ({description}) is invalid: {error}")
+            }
+            TraceError::NotTerminal => write!(f, "trace ends before reaching the terminal state"),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for TraceError<E> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::{DagBuilder, NodeId};
+
+    fn chain3() -> Dag {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rbp_trace_validation_and_cost() {
+        let g = chain3();
+        let trace = RbpTrace::from_moves(vec![
+            RbpMove::Load(NodeId(0)),
+            RbpMove::Compute(NodeId(1)),
+            RbpMove::Compute(NodeId(2)),
+            RbpMove::Save(NodeId(2)),
+        ]);
+        assert_eq!(trace.io_cost(), 2);
+        assert_eq!(trace.compute_steps(), 2);
+        assert_eq!(trace.validate(&g, RbpConfig::new(3)).unwrap(), 2);
+        // With r = 2 the same trace exceeds capacity at the second compute.
+        let err = trace.validate(&g, RbpConfig::new(2)).unwrap_err();
+        match err {
+            TraceError::InvalidMove { index, .. } => assert_eq!(index, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rbp_trace_not_terminal() {
+        let g = chain3();
+        let trace = RbpTrace::from_moves(vec![RbpMove::Load(NodeId(0))]);
+        assert_eq!(
+            trace.validate(&g, RbpConfig::new(3)),
+            Err(TraceError::NotTerminal)
+        );
+    }
+
+    #[test]
+    fn prbp_trace_validation_and_cost() {
+        let g = chain3();
+        let trace = PrbpTrace::from_moves(vec![
+            PrbpMove::Load(NodeId(0)),
+            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) },
+            PrbpMove::Delete(NodeId(0)),
+            PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) },
+            PrbpMove::Save(NodeId(2)),
+        ]);
+        assert_eq!(trace.io_cost(), 2);
+        assert_eq!(trace.validate(&g, PrbpConfig::new(3)).unwrap(), 2);
+        assert_eq!(trace.validate(&g, PrbpConfig::new(2)).unwrap(), 2);
+        assert!(trace.validate(&g, PrbpConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn traces_serialise_roundtrip() {
+        let trace = PrbpTrace::from_moves(vec![
+            PrbpMove::Load(NodeId(0)),
+            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) },
+        ]);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: PrbpTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn display_lists_moves_in_order() {
+        let trace = RbpTrace::from_moves(vec![
+            RbpMove::Load(NodeId(0)),
+            RbpMove::Compute(NodeId(1)),
+        ]);
+        let text = trace.to_string();
+        assert!(text.contains("0: load 0"));
+        assert!(text.contains("1: compute 1"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # pebble-hardness
+//!
+//! The complexity-theoretic side of the paper:
+//!
+//! * [`undirected`] — a small undirected-graph type used as the source
+//!   problem of the reductions.
+//! * [`independent_set`] — brute-force maximum independent set,
+//!   `maxinset-vertex` and `maxclique-vertex` oracles (Definition 4.9,
+//!   Lemma 4.10 / Lemma A.1).
+//! * [`reduction48`] — the Theorem 4.8 construction reducing
+//!   `maxinset-vertex` to the question `OPT_PRBP < OPT_RBP?`.
+//! * [`level_gadgets`] — the Theorem 7.1 level-gadget towers with the
+//!   auxiliary levels that adapt the inapproximability construction of [3] to
+//!   PRBP.
+
+pub mod independent_set;
+pub mod level_gadgets;
+pub mod reduction48;
+pub mod undirected;
+
+pub use undirected::UGraph;

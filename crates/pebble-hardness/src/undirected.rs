@@ -1,0 +1,148 @@
+//! A small undirected graph type used as the source problem of the
+//! hardness reductions.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph on `n` vertices, stored as an adjacency matrix
+/// (the reductions only ever use small instances).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UGraph {
+    n: usize,
+    adj: Vec<bool>,
+}
+
+impl UGraph {
+    /// Create an empty graph on `n ≥ 1` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        UGraph {
+            n,
+            adj: vec![false; n * n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges().count()
+    }
+
+    /// Add the undirected edge `{u, v}`; ignores self-loops.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n);
+        if u == v {
+            return;
+        }
+        self.adj[u * self.n + v] = true;
+        self.adj[v * self.n + u] = true;
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u * self.n + v]
+    }
+
+    /// Iterate over the edges as ordered pairs `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            ((u + 1)..self.n).filter_map(move |v| self.has_edge(u, v).then_some((u, v)))
+        })
+    }
+
+    /// Degree of vertex `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        (0..self.n).filter(|&v| self.has_edge(u, v)).count()
+    }
+
+    /// The complement graph (same vertices, complemented edge set).
+    pub fn complement(&self) -> UGraph {
+        let mut c = UGraph::new(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if !self.has_edge(u, v) {
+                    c.add_edge(u, v);
+                }
+            }
+        }
+        c
+    }
+
+    /// Build a graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = UGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The cycle graph C_n.
+    pub fn cycle(n: usize) -> Self {
+        let mut g = UGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// The complete graph K_n.
+    pub fn complete(n: usize) -> Self {
+        let mut g = UGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_edge_operations() {
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 1); // ignored self-loop
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 1));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn complement_of_cycle4() {
+        let c4 = UGraph::cycle(4);
+        let comp = c4.complement();
+        assert_eq!(comp.edge_count(), 2);
+        assert!(comp.has_edge(0, 2));
+        assert!(comp.has_edge(1, 3));
+        // Complementing twice gives the original.
+        assert_eq!(comp.complement(), c4);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let k5 = UGraph::complete(5);
+        assert_eq!(k5.edge_count(), 10);
+        assert_eq!(k5.complement().edge_count(), 0);
+        assert_eq!(k5.degree(0), 4);
+    }
+
+    #[test]
+    fn from_edges_matches_manual_construction() {
+        let g = UGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(0, 2));
+    }
+}

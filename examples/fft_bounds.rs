@@ -1,0 +1,48 @@
+//! FFT I/O complexity (Section 6.3.1, Theorem 6.9): pebble the m-point
+//! butterfly with the blocked strategy and compare against the PRBP lower
+//! bound derived from S-dominator partitions.
+//!
+//! Run with: `cargo run --example fft_bounds -- [m] [r]`
+
+use prbp::bounds::analytic::fft_prbp_lower_bound;
+use prbp::bounds::from_pebbling::{edge_partition_from_prbp, subsequence_lower_bound};
+use prbp::dag::generators::fft;
+use prbp::game::prbp::PrbpConfig;
+use prbp::game::strategies::fft as strategies;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let m: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let r: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let f = fft(m);
+    println!(
+        "{m}-point FFT butterfly: {} nodes, {} edges, {} stages, cache r = {r}",
+        f.dag.node_count(),
+        f.dag.edge_count(),
+        f.stages
+    );
+
+    let trace = strategies::prbp_blocked(&f, r).expect("r >= 4 required");
+    let cost = trace
+        .validate(&f.dag, PrbpConfig::new(r))
+        .expect("valid PRBP pebbling");
+    let bound = fft_prbp_lower_bound(m, r);
+    println!("blocked strategy cost : {cost}");
+    println!("PRBP lower bound      : {bound:.0}  (Theorem 6.9, constants explicit)");
+    println!("ratio                 : {:.2}", cost as f64 / bound);
+
+    // The Lemma 6.4 machinery applied to this very pebbling: the edge
+    // partition it generates is a valid 2r-edge partition whose class count
+    // sandwiches the cost.
+    let partition = edge_partition_from_prbp(&f.dag, &trace, r);
+    partition
+        .validate(&f.dag, 2 * r)
+        .expect("Lemma 6.4: valid 2r-edge partition");
+    println!(
+        "Lemma 6.4 edge partition: {} classes, so r·(k−1) = {} ≤ cost ≤ r·k = {}",
+        partition.class_count(),
+        subsequence_lower_bound(r, partition.class_count()),
+        r * partition.class_count()
+    );
+}

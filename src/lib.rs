@@ -1,0 +1,32 @@
+//! # prbp — Partial-computing red-blue pebble game
+//!
+//! Facade crate re-exporting the full public API of the PRBP reproduction:
+//!
+//! * [`dag`] — computational DAG substrate and generators for every DAG family
+//!   used in the paper (FFT butterflies, matrix multiplication, attention,
+//!   trees, zipper / pebble-collection gadgets, hardness constructions, ...).
+//! * [`game`] — the red-blue pebble game (RBP) and its partial-computing
+//!   extension (PRBP): state machines, legality checking, traces, exact optimal
+//!   solvers, constructive strategies and the model variants of Section 8.1.
+//! * [`bounds`] — S-partitions, S-edge partitions and S-dominator partitions,
+//!   trace-to-partition conversions and the analytic I/O lower bounds.
+//! * [`hardness`] — the NP-hardness reduction constructions of Theorems 4.8
+//!   and 7.1 together with brute-force independent-set oracles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use prbp::dag::generators::binary_tree;
+//! use prbp::game::{exact, Model};
+//!
+//! // Depth-3 binary tree (8 leaves), cache size r = 3.
+//! let dag = binary_tree(3);
+//! let rbp = exact::optimal_cost(&dag, 3, Model::Rbp).unwrap();
+//! let prbp = exact::optimal_cost(&dag, 3, Model::Prbp).unwrap();
+//! assert!(prbp < rbp); // Proposition 4.5
+//! ```
+
+pub use pebble_bounds as bounds;
+pub use pebble_dag as dag;
+pub use pebble_game as game;
+pub use pebble_hardness as hardness;

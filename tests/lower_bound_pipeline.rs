@@ -1,0 +1,98 @@
+//! Integration of the lower-bound pipeline: strategies produce traces, traces
+//! produce partitions (Lemmas 6.4 / 6.8), partitions produce bounds
+//! (Theorems 6.5 / 6.7), and the analytic bounds of Section 6.3 are honoured
+//! by the constructive strategies.
+
+use prbp::bounds::analytic::{
+    attention_prbp_lower_bound, fft_prbp_lower_bound, matmul_prbp_lower_bound,
+};
+use prbp::bounds::counterexample;
+use prbp::bounds::from_pebbling::{
+    dominator_partition_from_prbp, edge_partition_from_prbp, hong_kung_partition,
+    subsequence_lower_bound,
+};
+use prbp::dag::generators::{attention_full, fft, kary_tree, matmul, matvec, spartition_counterexample};
+use prbp::game::convert::rbp_to_prbp;
+use prbp::game::prbp::PrbpConfig;
+use prbp::game::rbp::RbpConfig;
+use prbp::game::strategies;
+
+#[test]
+fn full_pipeline_on_matvec() {
+    let m = 5;
+    let g = matvec(m);
+    let r = m + 3;
+    let trace = strategies::matvec::prbp_streaming(&g);
+    let cost = trace.validate(&g.dag, PrbpConfig::new(r)).unwrap();
+
+    let ep = edge_partition_from_prbp(&g.dag, &trace, r);
+    ep.validate(&g.dag, 2 * r).unwrap();
+    let dp = dominator_partition_from_prbp(&g.dag, &trace, r);
+    dp.validate(&g.dag, 2 * r).unwrap();
+
+    assert!(subsequence_lower_bound(r, ep.class_count()) <= cost);
+    assert!(subsequence_lower_bound(r, dp.class_count()) <= cost);
+    assert!(cost <= r * ep.class_count());
+}
+
+#[test]
+fn hong_kung_pipeline_on_rbp_traces() {
+    let t = kary_tree(2, 4);
+    let r = 3;
+    let rbp = strategies::tree::rbp_tree(&t);
+    let cost = rbp.validate(&t.dag, RbpConfig::new(r)).unwrap();
+    let partition = hong_kung_partition(&t.dag, &rbp, r);
+    partition.validate(&t.dag, 2 * r).unwrap();
+    assert!(subsequence_lower_bound(r, partition.class_count()) <= cost);
+
+    // The same pebbling converted to PRBP (Prop 4.1) feeds the PRBP lemmas.
+    let prbp = rbp_to_prbp(&t.dag, &rbp, r).unwrap();
+    let prbp_cost = prbp.validate(&t.dag, PrbpConfig::new(r)).unwrap();
+    assert!(prbp_cost <= cost);
+    let ep = edge_partition_from_prbp(&t.dag, &prbp, r);
+    ep.validate(&t.dag, 2 * r).unwrap();
+}
+
+#[test]
+fn analytic_bounds_hold_for_the_constructive_strategies() {
+    // FFT (Theorem 6.9).
+    let (m, r) = (256usize, 16usize);
+    let f = fft(m);
+    let fft_cost = strategies::fft::prbp_blocked(&f, r)
+        .unwrap()
+        .validate(&f.dag, PrbpConfig::new(r))
+        .unwrap();
+    assert!(fft_cost as f64 >= fft_prbp_lower_bound(m, r));
+
+    // Matrix multiplication (Theorem 6.10).
+    let mm = matmul(8, 8, 8);
+    let mm_cost = strategies::matmul::prbp_tiled(&mm, 16)
+        .unwrap()
+        .validate(&mm.dag, PrbpConfig::new(16))
+        .unwrap();
+    assert!(mm_cost as f64 >= matmul_prbp_lower_bound(8, 8, 8, 16));
+
+    // Attention (Theorem 6.11).
+    let att = attention_full(8, 2);
+    let att_cost = strategies::attention::prbp_streaming(&att, 19)
+        .unwrap()
+        .validate(&att.dag, PrbpConfig::new(19))
+        .unwrap();
+    assert!(att_cost as f64 >= attention_prbp_lower_bound(8, 2, 19));
+}
+
+#[test]
+fn lemma_5_4_counterexample_end_to_end() {
+    let c = spartition_counterexample(24);
+    let cost = counterexample::prbp_trivial_trace(&c)
+        .validate(&c.dag, PrbpConfig::new(counterexample::COUNTEREXAMPLE_CACHE))
+        .unwrap();
+    assert_eq!(cost, 8);
+    let p = counterexample::partition_from_pebbling(&c);
+    // Valid as an S-dominator partition, invalid as a full S-partition.
+    assert!(p.validate_dominator_only(&c.dag, 6).is_ok());
+    assert!(p.validate(&c.dag, 6).is_err());
+    // The classic bound would claim far more than the true cost.
+    let false_bound = 3 * (counterexample::min_spartition_classes_lower_bound(24) - 1);
+    assert!(false_bound > cost);
+}

@@ -1,0 +1,84 @@
+//! Property-based integration tests over randomly generated layered DAGs:
+//! the generic strategies always produce valid pebblings, conversions never
+//! increase cost, and the partition machinery always yields valid partitions
+//! whose class counts bound the cost.
+
+use prbp::bounds::from_pebbling::{
+    dominator_partition_from_prbp, edge_partition_from_prbp, hong_kung_partition,
+    subsequence_lower_bound,
+};
+use prbp::dag::generators::{random_layered, RandomLayeredConfig};
+use prbp::game::convert::rbp_to_prbp;
+use prbp::game::prbp::PrbpConfig;
+use prbp::game::rbp::RbpConfig;
+use prbp::game::strategies::topological;
+use proptest::prelude::*;
+
+fn dag_strategy() -> impl Strategy<Value = (pebble_dag::Dag, usize)> {
+    (2usize..5, 2usize..6, 1usize..4, any::<u64>()).prop_map(|(layers, width, deg, seed)| {
+        let dag = random_layered(RandomLayeredConfig {
+            layers,
+            width,
+            max_in_degree: deg,
+            seed,
+        });
+        let r = dag.max_in_degree() + 1;
+        (dag, r)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generic_strategies_always_produce_valid_pebblings((dag, r) in dag_strategy()) {
+        let rbp = topological::rbp_topological(&dag, r).expect("r >= Δin + 1");
+        let rbp_cost = rbp.validate(&dag, RbpConfig::new(r)).expect("valid RBP");
+        prop_assert!(rbp_cost >= dag.trivial_cost());
+
+        let prbp = topological::prbp_topological(&dag, 2).expect("r >= 2");
+        let prbp_cost = prbp.validate(&dag, PrbpConfig::new(2)).expect("valid PRBP");
+        prop_assert!(prbp_cost >= dag.trivial_cost());
+    }
+
+    #[test]
+    fn conversion_preserves_validity_and_cost((dag, r) in dag_strategy()) {
+        let rbp = topological::rbp_topological(&dag, r).unwrap();
+        let rbp_cost = rbp.validate(&dag, RbpConfig::new(r)).unwrap();
+        let prbp = rbp_to_prbp(&dag, &rbp, r).expect("conversion succeeds");
+        let prbp_cost = prbp.validate(&dag, PrbpConfig::new(r)).expect("valid converted trace");
+        prop_assert!(prbp_cost <= rbp_cost);
+    }
+
+    #[test]
+    fn partitions_from_random_pebblings_are_valid((dag, r) in dag_strategy()) {
+        let rbp = topological::rbp_topological(&dag, r).unwrap();
+        let rbp_cost = rbp.validate(&dag, RbpConfig::new(r)).unwrap();
+        let hk = hong_kung_partition(&dag, &rbp, r);
+        prop_assert!(hk.validate(&dag, 2 * r).is_ok());
+        prop_assert!(subsequence_lower_bound(r, hk.class_count()) <= rbp_cost);
+
+        let prbp = topological::prbp_topological(&dag, r).unwrap();
+        let prbp_cost = prbp.validate(&dag, PrbpConfig::new(r)).unwrap();
+        let ep = edge_partition_from_prbp(&dag, &prbp, r);
+        prop_assert!(ep.validate(&dag, 2 * r).is_ok());
+        prop_assert!(subsequence_lower_bound(r, ep.class_count()) <= prbp_cost);
+        prop_assert!(prbp_cost <= r * ep.class_count());
+        let dp = dominator_partition_from_prbp(&dag, &prbp, r);
+        prop_assert!(dp.validate(&dag, 2 * r).is_ok());
+        prop_assert!(subsequence_lower_bound(r, dp.class_count()) <= prbp_cost);
+    }
+
+    #[test]
+    fn ample_cache_reaches_exactly_the_trivial_cost((dag, _r) in dag_strategy()) {
+        // With a cache larger than the whole DAG nothing is ever evicted, so
+        // the generic PRBP strategy pays exactly the trivial cost, and the
+        // r = 2 strategy can never beat it.
+        let ample = topological::prbp_topological(&dag, dag.node_count() + 1).unwrap()
+            .validate(&dag, PrbpConfig::new(dag.node_count() + 1)).unwrap();
+        prop_assert_eq!(ample, dag.trivial_cost());
+        let tight = topological::prbp_topological(&dag, 2).unwrap()
+            .validate(&dag, PrbpConfig::new(2)).unwrap();
+        prop_assert!(tight >= ample);
+    }
+}
