@@ -46,7 +46,8 @@ fn bench_binary_tree(c: &mut Criterion) {
 fn bench_chained_gadgets(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_chained_gadgets_r4");
     group.sample_size(10);
-    for copies in [1usize] {
+    {
+        let copies = 1usize;
         let g = chained_gadgets(copies);
         group.bench_with_input(BenchmarkId::new("prbp", copies), &g.dag, |b, dag| {
             b.iter(|| {
@@ -57,5 +58,10 @@ fn bench_chained_gadgets(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig1, bench_binary_tree, bench_chained_gadgets);
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_binary_tree,
+    bench_chained_gadgets
+);
 criterion_main!(benches);

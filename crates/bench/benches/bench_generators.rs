@@ -35,10 +35,7 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| topo::topological_order(&dag))
     });
     group.bench_function("levels_768_nodes", |b| b.iter(|| topo::levels(&dag)));
-    let sinks = BitSet::from_indices(
-        dag.node_count(),
-        dag.sinks().iter().map(|v| v.index()),
-    );
+    let sinks = BitSet::from_indices(dag.node_count(), dag.sinks().iter().map(|v| v.index()));
     group.bench_function("min_dominator_sinks_768_nodes", |b| {
         b.iter(|| dominators::min_dominator_size(&dag, &sinks))
     });

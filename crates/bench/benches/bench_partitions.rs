@@ -42,13 +42,17 @@ fn bench_counterexample(c: &mut Criterion) {
     group.sample_size(10);
     for size in [50usize, 200] {
         let cx = spartition_counterexample(size);
-        group.bench_with_input(BenchmarkId::new("pebble_and_partition", size), &cx, |b, cx| {
-            b.iter(|| {
-                let trace = prbp_trivial_trace(cx);
-                let p = partition_from_pebbling(cx);
-                (trace.io_cost(), p.class_count())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pebble_and_partition", size),
+            &cx,
+            |b, cx| {
+                b.iter(|| {
+                    let trace = prbp_trivial_trace(cx);
+                    let p = partition_from_pebbling(cx);
+                    (trace.io_cost(), p.class_count())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -3,7 +3,9 @@
 
 use bench::{replay_prbp, replay_rbp};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pebble_dag::generators::{attention_full, chained_gadgets, fft, kary_tree, matmul, matvec, zipper};
+use pebble_dag::generators::{
+    attention_full, chained_gadgets, fft, kary_tree, matmul, matvec, zipper,
+};
 use pebble_game::strategies;
 
 fn bench_matvec(c: &mut Criterion) {

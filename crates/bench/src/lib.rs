@@ -6,6 +6,8 @@
 //! latency on the gadget DAGs, strategy generation and partition
 //! construction.
 
+#![deny(missing_docs)]
+
 use pebble_dag::Dag;
 use pebble_game::prbp::PrbpConfig;
 use pebble_game::rbp::RbpConfig;

@@ -35,15 +35,11 @@ pub fn hong_kung_partition(dag: &Dag, trace: &RbpTrace, r: usize) -> SPartition 
     for mv in &trace.moves {
         let subseq = ios / r;
         match *mv {
-            RbpMove::Load(v) | RbpMove::Compute(v) => {
-                if first_red[v.index()].is_none() {
-                    first_red[v.index()] = Some(subseq);
-                }
+            RbpMove::Load(v) | RbpMove::Compute(v) if first_red[v.index()].is_none() => {
+                first_red[v.index()] = Some(subseq);
             }
-            RbpMove::ComputeSlide { node, .. } => {
-                if first_red[node.index()].is_none() {
-                    first_red[node.index()] = Some(subseq);
-                }
+            RbpMove::ComputeSlide { node, .. } if first_red[node.index()].is_none() => {
+                first_red[node.index()] = Some(subseq);
             }
             _ => {}
         }
@@ -52,8 +48,7 @@ pub fn hong_kung_partition(dag: &Dag, trace: &RbpTrace, r: usize) -> SPartition 
     let k = ios.div_ceil(r).max(1);
     let mut classes = vec![BitSet::new(n); k];
     for v in dag.nodes() {
-        let c = first_red[v.index()]
-            .expect("every node receives a red pebble in a valid pebbling");
+        let c = first_red[v.index()].expect("every node receives a red pebble in a valid pebbling");
         classes[c].insert(v.index());
     }
     SPartition { classes }
@@ -112,10 +107,8 @@ pub fn dominator_partition_from_prbp(
                     class_of_node[to.index()] = Some(subseq);
                 }
             }
-            PrbpMove::Load(v) => {
-                if dag.is_source(v) && class_of_node[v.index()].is_none() {
-                    class_of_node[v.index()] = Some(subseq);
-                }
+            PrbpMove::Load(v) if dag.is_source(v) && class_of_node[v.index()].is_none() => {
+                class_of_node[v.index()] = Some(subseq);
             }
             _ => {}
         }
@@ -154,7 +147,11 @@ mod tests {
         let z = zipper(3, 6);
         out.push((z.dag.clone(), strategies::zipper::prbp_zipper(&z), 5));
         let p = pebble_collection(3, 9);
-        out.push((p.dag.clone(), strategies::collection::prbp_full_cache(&p), 5));
+        out.push((
+            p.dag.clone(),
+            strategies::collection::prbp_full_cache(&p),
+            5,
+        ));
         let c = chained_gadgets(4);
         out.push((c.dag.clone(), strategies::chain_gadget::prbp_trace(&c), 4));
         let f16 = fft(16);
@@ -168,8 +165,11 @@ mod tests {
 
     #[test]
     fn hong_kung_partition_is_valid_and_bounds_cost() {
-        let dags: Vec<(pebble_dag::Dag, usize)> =
-            vec![(fig1_full().dag, 4), (binary_tree(3), 3), (matvec(3).dag, 8)];
+        let dags: Vec<(pebble_dag::Dag, usize)> = vec![
+            (fig1_full().dag, 4),
+            (binary_tree(3), 3),
+            (matvec(3).dag, 8),
+        ];
         for (dag, r) in dags {
             let trace = match r {
                 8 => strategies::matvec::rbp_row_by_row(&matvec(3)),
@@ -189,7 +189,9 @@ mod tests {
         for (dag, trace, r) in prbp_corpus() {
             let cost = trace.validate(&dag, PrbpConfig::new(r)).unwrap();
             let partition = edge_partition_from_prbp(&dag, &trace, r);
-            partition.validate(&dag, 2 * r).expect("valid 2r-edge partition");
+            partition
+                .validate(&dag, 2 * r)
+                .expect("valid 2r-edge partition");
             let k = partition.class_count();
             assert!(subsequence_lower_bound(r, k) <= cost, "bound violated");
             assert!(cost <= r * k, "class count too small");

@@ -17,6 +17,8 @@
 //! * [`analytic`] — closed-form lower bounds for FFT (Theorem 6.9), matrix
 //!   multiplication (Theorem 6.10) and attention (Theorem 6.11).
 
+#![deny(missing_docs)]
+
 pub mod analytic;
 pub mod counterexample;
 pub mod from_pebbling;

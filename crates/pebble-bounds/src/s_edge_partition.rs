@@ -83,7 +83,10 @@ impl SEdgePartition {
             }
             let terminal = edge_terminal_set(dag, class).count();
             if terminal > s {
-                return Err(PartitionError::TerminalTooLarge { class: i, size: terminal });
+                return Err(PartitionError::TerminalTooLarge {
+                    class: i,
+                    size: terminal,
+                });
             }
         }
         Ok(())
@@ -107,7 +110,9 @@ mod tests {
     #[test]
     fn single_class_is_valid() {
         let g = chain3();
-        let p = SEdgePartition { classes: vec![BitSet::full(2)] };
+        let p = SEdgePartition {
+            classes: vec![BitSet::full(2)],
+        };
         assert!(p.validate(&g, 1).is_ok());
         assert_eq!(p.class_count(), 1);
         assert_eq!(p.class_of(pebble_dag::EdgeId(1)), Some(0));
@@ -134,13 +139,18 @@ mod tests {
     #[test]
     fn missing_or_duplicated_edges_are_rejected() {
         let g = chain3();
-        let p = SEdgePartition { classes: vec![BitSet::from_indices(2, [0])] };
+        let p = SEdgePartition {
+            classes: vec![BitSet::from_indices(2, [0])],
+        };
         assert!(matches!(
             p.validate(&g, 1),
             Err(PartitionError::NotAPartition { .. })
         ));
         let p = SEdgePartition {
-            classes: vec![BitSet::from_indices(2, [0, 1]), BitSet::from_indices(2, [1])],
+            classes: vec![
+                BitSet::from_indices(2, [0, 1]),
+                BitSet::from_indices(2, [1]),
+            ],
         };
         assert!(matches!(
             p.validate(&g, 1),
@@ -160,7 +170,9 @@ mod tests {
             b.add_edge(x, t);
         }
         let g = b.build().unwrap();
-        let p = SEdgePartition { classes: vec![BitSet::full(3)] };
+        let p = SEdgePartition {
+            classes: vec![BitSet::full(3)],
+        };
         assert!(matches!(
             p.validate(&g, 2),
             Err(PartitionError::DominatorTooLarge { .. })
@@ -179,7 +191,9 @@ mod tests {
             b.add_edge(s, x);
         }
         let g = b.build().unwrap();
-        let p = SEdgePartition { classes: vec![BitSet::full(3)] };
+        let p = SEdgePartition {
+            classes: vec![BitSet::full(3)],
+        };
         assert!(matches!(
             p.validate(&g, 2),
             Err(PartitionError::TerminalTooLarge { size: 3, .. })

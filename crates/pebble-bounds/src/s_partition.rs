@@ -11,13 +11,31 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionError {
     /// A node appears in no class or in more than one class.
-    NotAPartition { node: usize },
+    NotAPartition {
+        /// Index of the node that is not covered exactly once.
+        node: usize,
+    },
     /// Condition (i): an edge goes from a later class to an earlier one.
-    CyclicDependency { from_class: usize, to_class: usize },
+    CyclicDependency {
+        /// The later class the edge starts in.
+        from_class: usize,
+        /// The earlier class the edge points back to.
+        to_class: usize,
+    },
     /// Condition (ii): a class has no dominator of size at most S.
-    DominatorTooLarge { class: usize, minimum: usize },
+    DominatorTooLarge {
+        /// Index of the offending class.
+        class: usize,
+        /// Size of that class's minimum dominator.
+        minimum: usize,
+    },
     /// Condition (iii): a class's terminal set exceeds S.
-    TerminalTooLarge { class: usize, size: usize },
+    TerminalTooLarge {
+        /// Index of the offending class.
+        class: usize,
+        /// Size of that class's terminal set.
+        size: usize,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -26,7 +44,10 @@ impl fmt::Display for PartitionError {
             PartitionError::NotAPartition { node } => {
                 write!(f, "node {node} is not covered exactly once")
             }
-            PartitionError::CyclicDependency { from_class, to_class } => {
+            PartitionError::CyclicDependency {
+                from_class,
+                to_class,
+            } => {
                 write!(f, "edge from class {from_class} back to class {to_class}")
             }
             PartitionError::DominatorTooLarge { class, minimum } => {
@@ -146,7 +167,10 @@ impl SDominatorPartition {
 
     /// Validate conditions (i) and (ii) of Definition 5.3 with parameter `s`.
     pub fn validate(&self, dag: &Dag, s: usize) -> Result<(), PartitionError> {
-        SPartition { classes: self.classes.clone() }.validate_dominator_only(dag, s)
+        SPartition {
+            classes: self.classes.clone(),
+        }
+        .validate_dominator_only(dag, s)
     }
 }
 
@@ -177,7 +201,9 @@ mod tests {
     #[test]
     fn single_class_partition_of_chain_is_valid() {
         let g = chain3();
-        let p = SPartition { classes: vec![BitSet::full(3)] };
+        let p = SPartition {
+            classes: vec![BitSet::full(3)],
+        };
         assert!(p.validate(&g, 1).is_ok());
         assert_eq!(p.class_count(), 1);
         assert_eq!(p.class_of(pebble_dag::NodeId(1)), Some(0));
@@ -186,7 +212,9 @@ mod tests {
     #[test]
     fn missing_node_is_rejected() {
         let g = chain3();
-        let p = SPartition { classes: vec![BitSet::from_indices(3, [0, 1])] };
+        let p = SPartition {
+            classes: vec![BitSet::from_indices(3, [0, 1])],
+        };
         assert_eq!(
             p.validate(&g, 2),
             Err(PartitionError::NotAPartition { node: 2 })
@@ -197,7 +225,10 @@ mod tests {
     fn duplicate_node_is_rejected() {
         let g = chain3();
         let p = SPartition {
-            classes: vec![BitSet::from_indices(3, [0, 1]), BitSet::from_indices(3, [1, 2])],
+            classes: vec![
+                BitSet::from_indices(3, [0, 1]),
+                BitSet::from_indices(3, [1, 2]),
+            ],
         };
         assert_eq!(
             p.validate(&g, 2),
@@ -209,11 +240,17 @@ mod tests {
     fn backwards_edge_is_rejected() {
         let g = chain3();
         let p = SPartition {
-            classes: vec![BitSet::from_indices(3, [1, 2]), BitSet::from_indices(3, [0])],
+            classes: vec![
+                BitSet::from_indices(3, [1, 2]),
+                BitSet::from_indices(3, [0]),
+            ],
         };
         assert_eq!(
             p.validate(&g, 2),
-            Err(PartitionError::CyclicDependency { from_class: 1, to_class: 0 })
+            Err(PartitionError::CyclicDependency {
+                from_class: 1,
+                to_class: 0
+            })
         );
     }
 
@@ -228,10 +265,15 @@ mod tests {
             b.add_edge(x, t);
         }
         let g = b.build().unwrap();
-        let p = SPartition { classes: vec![BitSet::full(4)] };
+        let p = SPartition {
+            classes: vec![BitSet::full(4)],
+        };
         assert!(matches!(
             p.validate(&g, 2),
-            Err(PartitionError::DominatorTooLarge { class: 0, minimum: 3 })
+            Err(PartitionError::DominatorTooLarge {
+                class: 0,
+                minimum: 3
+            })
         ));
         assert!(p.validate(&g, 3).is_ok());
     }
@@ -248,13 +290,17 @@ mod tests {
             b.add_edge(s, x);
         }
         let g = b.build().unwrap();
-        let p = SPartition { classes: vec![BitSet::full(4)] };
+        let p = SPartition {
+            classes: vec![BitSet::full(4)],
+        };
         assert!(matches!(
             p.validate(&g, 2),
             Err(PartitionError::TerminalTooLarge { class: 0, size: 3 })
         ));
         assert!(p.validate_dominator_only(&g, 2).is_ok());
-        let dp = SDominatorPartition { classes: vec![BitSet::full(4)] };
+        let dp = SDominatorPartition {
+            classes: vec![BitSet::full(4)],
+        };
         assert!(dp.validate(&g, 2).is_ok());
         assert_eq!(dp.class_count(), 1);
     }

@@ -22,11 +22,17 @@ pub fn edge_terminal_set(dag: &Dag, edges: &BitSet) -> BitSet {
     debug_assert_eq!(edges.capacity(), dag.edge_count());
     let mut out = dag.node_set();
     for v in dag.nodes() {
-        let has_in = dag.in_edges(v).iter().any(|&(_, e)| edges.contains(e.index()));
+        let has_in = dag
+            .in_edges(v)
+            .iter()
+            .any(|&(_, e)| edges.contains(e.index()));
         if !has_in {
             continue;
         }
-        let has_out = dag.out_edges(v).iter().any(|&(_, e)| edges.contains(e.index()));
+        let has_out = dag
+            .out_edges(v)
+            .iter()
+            .any(|&(_, e)| edges.contains(e.index()));
         if !has_out {
             out.insert(v.index());
         }

@@ -121,7 +121,10 @@ impl BitSet {
     /// Returns `true` if every set bit of `self` is also set in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterate over the indices of set bits in increasing order.

@@ -247,7 +247,11 @@ mod tests {
         let edges = BitSet::from_indices(g.edge_count(), [e.index()]);
         assert!(is_edge_dominator(&g, &BitSet::from_indices(4, [0]), &edges));
         assert!(is_edge_dominator(&g, &BitSet::from_indices(4, [1]), &edges));
-        assert!(!is_edge_dominator(&g, &BitSet::from_indices(4, [2]), &edges));
+        assert!(!is_edge_dominator(
+            &g,
+            &BitSet::from_indices(4, [2]),
+            &edges
+        ));
         assert_eq!(min_edge_dominator_size(&g, &edges), 1);
     }
 }

@@ -41,7 +41,11 @@ impl FlowNetwork {
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u32) -> (usize, usize) {
         let fwd_idx = self.graph[from].len();
         let rev_idx = self.graph[to].len();
-        self.graph[from].push(FlowEdge { to, cap, rev: rev_idx });
+        self.graph[from].push(FlowEdge {
+            to,
+            cap,
+            rev: rev_idx,
+        });
         self.graph[to].push(FlowEdge {
             to: from,
             cap: 0,

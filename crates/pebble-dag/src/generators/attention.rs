@@ -39,10 +39,18 @@ pub fn attention_qk(m: usize, d: usize) -> AttentionDag {
     assert!(m >= 1 && d >= 1);
     let mut b = DagBuilder::new();
     let q: Vec<Vec<NodeId>> = (0..m)
-        .map(|i| (0..d).map(|kk| b.add_labeled_node(format!("Q{i}_{kk}"))).collect())
+        .map(|i| {
+            (0..d)
+                .map(|kk| b.add_labeled_node(format!("Q{i}_{kk}")))
+                .collect()
+        })
         .collect();
     let k: Vec<Vec<NodeId>> = (0..m)
-        .map(|j| (0..d).map(|kk| b.add_labeled_node(format!("K{j}_{kk}"))).collect())
+        .map(|j| {
+            (0..d)
+                .map(|kk| b.add_labeled_node(format!("K{j}_{kk}")))
+                .collect()
+        })
         .collect();
     let mut prod = vec![vec![Vec::with_capacity(d); m]; m];
     let mut root = vec![Vec::with_capacity(m); m];
@@ -56,8 +64,8 @@ pub fn attention_qk(m: usize, d: usize) -> AttentionDag {
                 prod[i][j].push(p);
             }
             let s = b.add_labeled_node(format!("S{i}_{j}"));
-            for kk in 0..d {
-                b.add_edge(prod[i][j][kk], s);
+            for &pnode in &prod[i][j] {
+                b.add_edge(pnode, s);
             }
             let e = b.add_labeled_node(format!("E{i}_{j}"));
             b.add_edge(s, e);
@@ -109,17 +117,30 @@ pub fn attention_full(m: usize, d: usize) -> AttentionFullDag {
     assert!(m >= 1 && d >= 1);
     let mut b = DagBuilder::new();
     let q: Vec<Vec<NodeId>> = (0..m)
-        .map(|i| (0..d).map(|kk| b.add_labeled_node(format!("Q{i}_{kk}"))).collect())
+        .map(|i| {
+            (0..d)
+                .map(|kk| b.add_labeled_node(format!("Q{i}_{kk}")))
+                .collect()
+        })
         .collect();
     let k: Vec<Vec<NodeId>> = (0..m)
-        .map(|j| (0..d).map(|kk| b.add_labeled_node(format!("K{j}_{kk}"))).collect())
+        .map(|j| {
+            (0..d)
+                .map(|kk| b.add_labeled_node(format!("K{j}_{kk}")))
+                .collect()
+        })
         .collect();
     let v: Vec<Vec<NodeId>> = (0..m)
-        .map(|j| (0..d).map(|kk| b.add_labeled_node(format!("V{j}_{kk}"))).collect())
+        .map(|j| {
+            (0..d)
+                .map(|kk| b.add_labeled_node(format!("V{j}_{kk}")))
+                .collect()
+        })
         .collect();
     let mut root = vec![Vec::with_capacity(m); m];
     let mut expv = vec![Vec::with_capacity(m); m];
     for i in 0..m {
+        #[allow(clippy::needless_range_loop)] // node-id order must follow j
         for j in 0..m {
             let s = b.add_labeled_node(format!("S{i}_{j}"));
             for kk in 0..d {
@@ -136,6 +157,7 @@ pub fn attention_full(m: usize, d: usize) -> AttentionFullDag {
     }
     let mut out = vec![Vec::with_capacity(d); m];
     for i in 0..m {
+        #[allow(clippy::needless_range_loop)] // node-id order must follow kk
         for kk in 0..d {
             let o = b.add_labeled_node(format!("O{i}_{kk}"));
             for j in 0..m {

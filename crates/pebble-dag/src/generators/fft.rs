@@ -25,7 +25,10 @@ pub struct FftDag {
 
 /// Build the m-point FFT DAG. `m` must be a power of two and at least 2.
 pub fn fft(m: usize) -> FftDag {
-    assert!(m >= 2 && m.is_power_of_two(), "m must be a power of two ≥ 2");
+    assert!(
+        m >= 2 && m.is_power_of_two(),
+        "m must be a power of two ≥ 2"
+    );
     let stages = m.trailing_zeros() as usize;
     let mut b = DagBuilder::new();
     let layers: Vec<Vec<NodeId>> = (0..=stages)
@@ -43,7 +46,12 @@ pub fn fft(m: usize) -> FftDag {
         }
     }
     let dag = b.build().expect("FFT DAG is valid");
-    FftDag { dag, m, stages, layers }
+    FftDag {
+        dag,
+        m,
+        stages,
+        layers,
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@ pub struct Fig1Gadget {
 
 /// Add the 8 gadget nodes and 10 gadget edges to `b`, reusing `entry` nodes
 /// for (u1, u2) when provided (used when chaining gadgets).
-fn add_fig1_gadget(b: &mut DagBuilder, entry: Option<(NodeId, NodeId)>, tag: &str) -> ([NodeId; 8], [NodeId; 2]) {
+fn add_fig1_gadget(
+    b: &mut DagBuilder,
+    entry: Option<(NodeId, NodeId)>,
+    tag: &str,
+) -> ([NodeId; 8], [NodeId; 2]) {
     let (u1, u2) = match entry {
         Some(pair) => pair,
         None => (
@@ -158,7 +162,12 @@ pub fn chained_gadgets(copies: usize) -> ChainedGadgets {
     b.add_edge(last_exit.0, v0);
     b.add_edge(last_exit.1, v0);
     let dag = b.build().expect("chained gadget DAG is valid");
-    ChainedGadgets { dag, u0, v0, gadgets }
+    ChainedGadgets {
+        dag,
+        u0,
+        v0,
+        gadgets,
+    }
 }
 
 /// The zipper gadget of Section 4.2.1 (Figure 2, left): two groups of `d`
@@ -182,8 +191,12 @@ pub struct Zipper {
 pub fn zipper(d: usize, chain_len: usize) -> Zipper {
     assert!(d >= 1 && chain_len >= 1);
     let mut b = DagBuilder::new();
-    let group_a: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("a{i}"))).collect();
-    let group_b: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("b{i}"))).collect();
+    let group_a: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(format!("a{i}")))
+        .collect();
+    let group_b: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(format!("b{i}")))
+        .collect();
     let chain: Vec<NodeId> = (0..chain_len)
         .map(|i| b.add_labeled_node(format!("c{i}")))
         .collect();
@@ -206,8 +219,8 @@ pub fn zipper(d: usize, chain_len: usize) -> Zipper {
 }
 
 /// The pebble-collection gadget of Section 4.2.3 (Figure 2, right): `d` source
-/// nodes and a chain of `chain_len` nodes, where the `i`-th chain node (from
-/// 1) has incoming edges from the previous chain node and from source
+/// nodes and a chain of `chain_len` nodes, where the `i`-th chain node
+/// (from 1) has incoming edges from the previous chain node and from source
 /// `(i-1) mod d`.
 #[derive(Debug, Clone)]
 pub struct PebbleCollection {
@@ -224,7 +237,9 @@ pub struct PebbleCollection {
 pub fn pebble_collection(d: usize, chain_len: usize) -> PebbleCollection {
     assert!(d >= 1 && chain_len >= 1);
     let mut b = DagBuilder::new();
-    let sources: Vec<NodeId> = (0..d).map(|i| b.add_labeled_node(format!("u{i}"))).collect();
+    let sources: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(format!("u{i}")))
+        .collect();
     let chain: Vec<NodeId> = (0..chain_len)
         .map(|i| b.add_labeled_node(format!("v{i}")))
         .collect();
@@ -235,7 +250,11 @@ pub fn pebble_collection(d: usize, chain_len: usize) -> PebbleCollection {
         b.add_edge(sources[i % d], c);
     }
     let dag = b.build().expect("pebble collection DAG is valid");
-    PebbleCollection { dag, sources, chain }
+    PebbleCollection {
+        dag,
+        sources,
+        chain,
+    }
 }
 
 /// The pyramid gadget: `base` source nodes at the bottom; every higher row is
@@ -254,7 +273,9 @@ pub fn pyramid(base: usize) -> Pyramid {
     assert!(base >= 1);
     let mut b = DagBuilder::new();
     let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(base);
-    let bottom: Vec<NodeId> = (0..base).map(|i| b.add_labeled_node(format!("p0_{i}"))).collect();
+    let bottom: Vec<NodeId> = (0..base)
+        .map(|i| b.add_labeled_node(format!("p0_{i}")))
+        .collect();
     rows.push(bottom);
     for row_idx in 1..base {
         let width = base - row_idx;

@@ -34,7 +34,9 @@ pub fn matvec(m: usize) -> MatVecDag {
                 .collect()
         })
         .collect();
-    let x: Vec<NodeId> = (0..m).map(|i| b.add_labeled_node(format!("x{i}"))).collect();
+    let x: Vec<NodeId> = (0..m)
+        .map(|i| b.add_labeled_node(format!("x{i}")))
+        .collect();
     let prod: Vec<Vec<NodeId>> = (0..m)
         .map(|j| {
             (0..m)
@@ -42,7 +44,9 @@ pub fn matvec(m: usize) -> MatVecDag {
                 .collect()
         })
         .collect();
-    let y: Vec<NodeId> = (0..m).map(|j| b.add_labeled_node(format!("y{j}"))).collect();
+    let y: Vec<NodeId> = (0..m)
+        .map(|j| b.add_labeled_node(format!("y{j}")))
+        .collect();
     for j in 0..m {
         for i in 0..m {
             b.add_edge(a[j][i], prod[j][i]);
@@ -51,7 +55,14 @@ pub fn matvec(m: usize) -> MatVecDag {
         }
     }
     let dag = b.build().expect("matvec DAG is valid");
-    MatVecDag { dag, m, a, x, prod, y }
+    MatVecDag {
+        dag,
+        m,
+        a,
+        x,
+        prod,
+        y,
+    }
 }
 
 impl MatVecDag {

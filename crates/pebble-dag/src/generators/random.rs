@@ -91,8 +91,14 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_graphs() {
-        let a = random_layered(RandomLayeredConfig { seed: 1, ..Default::default() });
-        let b = random_layered(RandomLayeredConfig { seed: 2, ..Default::default() });
+        let a = random_layered(RandomLayeredConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_layered(RandomLayeredConfig {
+            seed: 2,
+            ..Default::default()
+        });
         let edges_a: Vec<_> = a.edges().map(|e| a.edge_endpoints(e)).collect();
         let edges_b: Vec<_> = b.edges().map(|e| b.edge_endpoints(e)).collect();
         assert_ne!(edges_a, edges_b);
@@ -119,7 +125,10 @@ mod tests {
     #[test]
     fn first_layer_nodes_all_have_successors() {
         for seed in 0..10 {
-            let g = random_layered(RandomLayeredConfig { seed, ..Default::default() });
+            let g = random_layered(RandomLayeredConfig {
+                seed,
+                ..Default::default()
+            });
             for v in g.sources() {
                 assert!(g.out_degree(v) >= 1);
             }

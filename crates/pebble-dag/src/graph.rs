@@ -323,7 +323,9 @@ impl Dag {
 
     pub(crate) fn topological_order_internal(&self) -> Option<Vec<NodeId>> {
         let n = self.node_count();
-        let mut in_deg: Vec<usize> = (0..n).map(|i| self.in_degree(NodeId::from_index(i))).collect();
+        let mut in_deg: Vec<usize> = (0..n)
+            .map(|i| self.in_degree(NodeId::from_index(i)))
+            .collect();
         let mut queue: Vec<NodeId> = (0..n)
             .map(NodeId::from_index)
             .filter(|&v| in_deg[v.index()] == 0)

@@ -23,6 +23,8 @@
 //! * [`export`] — DOT and JSON export for inspection and debugging.
 //! * [`stats`] — degree statistics and structural summaries.
 
+#![deny(missing_docs)]
+
 pub mod bitset;
 pub mod dominators;
 pub mod export;

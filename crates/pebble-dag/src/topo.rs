@@ -190,8 +190,14 @@ mod tests {
     #[test]
     fn invalid_orders_rejected() {
         let g = chain(3);
-        assert!(!is_topological_order(&g, &[NodeId(2), NodeId(1), NodeId(0)]));
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId(2), NodeId(1), NodeId(0)]
+        ));
         assert!(!is_topological_order(&g, &[NodeId(0), NodeId(1)]));
-        assert!(!is_topological_order(&g, &[NodeId(0), NodeId(0), NodeId(1)]));
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId(0), NodeId(0), NodeId(1)]
+        ));
     }
 }

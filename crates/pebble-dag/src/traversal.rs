@@ -136,7 +136,10 @@ mod tests {
             assert!(g.has_edge(w[0], w[1]));
         }
         assert!(find_path(&g, NodeId(1), NodeId(2)).is_none());
-        assert_eq!(find_path(&g, NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
+        assert_eq!(
+            find_path(&g, NodeId(2), NodeId(2)).unwrap(),
+            vec![NodeId(2)]
+        );
     }
 
     #[test]

@@ -15,7 +15,14 @@ pub const CASES: [(usize, usize); 5] = [(3, 8), (4, 8), (5, 8), (4, 16), (6, 24)
 pub fn run() -> Table {
     let mut t = Table::new(
         "E3 (Prop 4.4): zipper gadget, r = d + 2",
-        &["d", "chain", "trivial", "RBP strategy", "PRBP strategy", "PRBP/RBP"],
+        &[
+            "d",
+            "chain",
+            "trivial",
+            "RBP strategy",
+            "PRBP strategy",
+            "PRBP/RBP",
+        ],
     );
     for (d, len) in CASES {
         let z = zipper(d, len);

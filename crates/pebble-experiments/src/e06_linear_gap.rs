@@ -15,7 +15,13 @@ pub const COPIES: [usize; 6] = [1, 2, 4, 8, 16, 64];
 pub fn run() -> Table {
     let mut t = Table::new(
         "E6 (Prop 4.7): chained gadgets, r = 4 (linear RBP / constant PRBP)",
-        &["copies", "n", "RBP lower bound", "RBP strategy", "PRBP strategy"],
+        &[
+            "copies",
+            "n",
+            "RBP lower bound",
+            "RBP strategy",
+            "PRBP strategy",
+        ],
     );
     for copies in COPIES {
         let c = chained_gadgets(copies);

@@ -11,10 +11,19 @@ use pebble_hardness::UGraph;
 /// The small source graphs used by the experiment.
 pub fn instances() -> Vec<(&'static str, UGraph)> {
     vec![
-        ("star K1,3", UGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)])),
-        ("path P5", UGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])),
+        (
+            "star K1,3",
+            UGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]),
+        ),
+        (
+            "path P5",
+            UGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+        ),
         ("cycle C5", UGraph::cycle(5)),
-        ("triangle+pendant", UGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)])),
+        (
+            "triangle+pendant",
+            UGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]),
+        ),
     ]
 }
 

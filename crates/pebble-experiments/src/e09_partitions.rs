@@ -14,13 +14,33 @@ use pebble_game::trace::PrbpTrace;
 fn corpus() -> Vec<(&'static str, pebble_dag::Dag, PrbpTrace, usize)> {
     let mut out: Vec<(&'static str, pebble_dag::Dag, PrbpTrace, usize)> = Vec::new();
     let mv = matvec(6);
-    out.push(("matvec m=6", mv.dag.clone(), strategies::matvec::prbp_streaming(&mv), 9));
+    out.push((
+        "matvec m=6",
+        mv.dag.clone(),
+        strategies::matvec::prbp_streaming(&mv),
+        9,
+    ));
     let tr = kary_tree(2, 5);
-    out.push(("binary tree d=5", tr.dag.clone(), strategies::tree::prbp_tree(&tr), 3));
+    out.push((
+        "binary tree d=5",
+        tr.dag.clone(),
+        strategies::tree::prbp_tree(&tr),
+        3,
+    ));
     let z = zipper(4, 10);
-    out.push(("zipper d=4 L=10", z.dag.clone(), strategies::zipper::prbp_zipper(&z), 6));
+    out.push((
+        "zipper d=4 L=10",
+        z.dag.clone(),
+        strategies::zipper::prbp_zipper(&z),
+        6,
+    ));
     let c = chained_gadgets(6);
-    out.push(("chained gadgets x6", c.dag.clone(), strategies::chain_gadget::prbp_trace(&c), 4));
+    out.push((
+        "chained gadgets x6",
+        c.dag.clone(),
+        strategies::chain_gadget::prbp_trace(&c),
+        4,
+    ));
     let f = fft(32);
     out.push((
         "FFT m=32 r=8",
@@ -51,7 +71,8 @@ pub fn run() -> Table {
         let dp = dominator_partition_from_prbp(&dag, &trace, r);
         let ep_valid = ep.validate(&dag, 2 * r).is_ok();
         let dp_valid = dp.validate(&dag, 2 * r).is_ok();
-        let bound_ok = subsequence_lower_bound(r, ep.class_count()) <= cost && cost <= r * ep.class_count();
+        let bound_ok =
+            subsequence_lower_bound(r, ep.class_count()) <= cost && cost <= r * ep.class_count();
         t.push_row([
             name.to_string(),
             r.to_string(),

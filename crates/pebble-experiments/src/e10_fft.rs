@@ -9,13 +9,27 @@ use pebble_game::prbp::PrbpConfig;
 use pebble_game::strategies::fft as fft_strategies;
 
 /// (m, r) pairs swept by the experiment.
-pub const CASES: [(usize, usize); 6] = [(64, 8), (256, 8), (1024, 8), (1024, 16), (1024, 64), (4096, 16)];
+pub const CASES: [(usize, usize); 6] = [
+    (64, 8),
+    (256, 8),
+    (1024, 8),
+    (1024, 16),
+    (1024, 64),
+    (4096, 16),
+];
 
 /// Build the E10 table.
 pub fn run() -> Table {
     let mut t = Table::new(
         "E10 (Thm 6.9, Fig 4): m-point FFT, blocked strategy vs PRBP lower bound",
-        &["m", "r", "trivial 2m", "PRBP strategy", "lower bound", "strategy/bound"],
+        &[
+            "m",
+            "r",
+            "trivial 2m",
+            "PRBP strategy",
+            "lower bound",
+            "strategy/bound",
+        ],
     );
     for (m, r) in CASES {
         let f = fft(m);

@@ -16,7 +16,14 @@ pub const CASES: [(usize, usize); 5] = [(6, 9), (8, 9), (8, 25), (12, 25), (12, 
 pub fn run() -> Table {
     let mut t = Table::new(
         "E11 (Thm 6.10): m x m x m matrix multiplication",
-        &["m", "r", "lower bound", "PRBP tiled", "naive RBP (r=m+3)", "tiled/naive"],
+        &[
+            "m",
+            "r",
+            "lower bound",
+            "PRBP tiled",
+            "naive RBP (r=m+3)",
+            "tiled/naive",
+        ],
     );
     for (m, r) in CASES {
         let g = matmul(m, m, m);

@@ -10,14 +10,26 @@ use pebble_game::prbp::PrbpConfig;
 use pebble_game::strategies::attention as att_strategies;
 
 /// (m, d, r) triples swept by the experiment.
-pub const CASES: [(usize, usize, usize); 5] =
-    [(8, 2, 11), (16, 2, 11), (16, 2, 19), (16, 2, 35), (12, 3, 27)];
+pub const CASES: [(usize, usize, usize); 5] = [
+    (8, 2, 11),
+    (16, 2, 11),
+    (16, 2, 19),
+    (16, 2, 35),
+    (12, 3, 27),
+];
 
 /// Build the E12 table.
 pub fn run() -> Table {
     let mut t = Table::new(
         "E12 (Thm 6.11): attention, streaming strategy vs PRBP lower bound",
-        &["m", "d", "r", "large-cache regime", "lower bound", "PRBP streaming"],
+        &[
+            "m",
+            "d",
+            "r",
+            "large-cache regime",
+            "lower bound",
+            "PRBP streaming",
+        ],
     );
     for (m, d, r) in CASES {
         let att = attention_full(m, d);

@@ -12,15 +12,40 @@ use pebble_game::trace::RbpTrace;
 fn corpus() -> Vec<(&'static str, pebble_dag::Dag, RbpTrace, usize)> {
     let mut out: Vec<(&'static str, pebble_dag::Dag, RbpTrace, usize)> = Vec::new();
     let f = fig1_full();
-    out.push(("fig1 (A.1 optimal)", f.dag.clone(), strategies::fig1::rbp_optimal_trace(&f), 4));
+    out.push((
+        "fig1 (A.1 optimal)",
+        f.dag.clone(),
+        strategies::fig1::rbp_optimal_trace(&f),
+        4,
+    ));
     let tr = kary_tree(2, 4);
-    out.push(("binary tree d=4", tr.dag.clone(), strategies::tree::rbp_tree(&tr), 3));
+    out.push((
+        "binary tree d=4",
+        tr.dag.clone(),
+        strategies::tree::rbp_tree(&tr),
+        3,
+    ));
     let mv = matvec(5);
-    out.push(("matvec m=5", mv.dag.clone(), strategies::matvec::rbp_row_by_row(&mv), 10));
+    out.push((
+        "matvec m=5",
+        mv.dag.clone(),
+        strategies::matvec::rbp_row_by_row(&mv),
+        10,
+    ));
     let z = zipper(3, 8);
-    out.push(("zipper d=3 L=8", z.dag.clone(), strategies::zipper::rbp_zipper(&z), 5));
+    out.push((
+        "zipper d=3 L=8",
+        z.dag.clone(),
+        strategies::zipper::rbp_zipper(&z),
+        5,
+    ));
     let ff = fft(32);
-    out.push(("FFT m=32 (blocked)", ff.dag.clone(), strategies::fft::rbp_blocked(&ff, 8).unwrap(), 8));
+    out.push((
+        "FFT m=32 (blocked)",
+        ff.dag.clone(),
+        strategies::fft::rbp_blocked(&ff, 8).unwrap(),
+        8,
+    ));
     let bt = binary_tree(5);
     out.push((
         "binary tree d=5 (topological)",
@@ -35,7 +60,13 @@ fn corpus() -> Vec<(&'static str, pebble_dag::Dag, RbpTrace, usize)> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E14 (Prop 4.1): RBP-to-PRBP conversion preserves the cost",
-        &["workload", "r", "RBP cost", "converted PRBP cost", "PRBP <= RBP"],
+        &[
+            "workload",
+            "r",
+            "RBP cost",
+            "converted PRBP cost",
+            "PRBP <= RBP",
+        ],
     );
     for (name, dag, rbp_trace, r) in corpus() {
         let rbp_cost = rbp_trace.validate(&dag, RbpConfig::new(r)).unwrap();

@@ -18,7 +18,13 @@ pub fn run() -> Table {
     let search = SearchConfig::default;
     let mut t = Table::new(
         "E15 (App B): model variants on Figure 1 and its adjusted versions (r = 4)",
-        &["DAG", "RBP one-shot", "RBP recompute", "RBP sliding", "PRBP"],
+        &[
+            "DAG",
+            "RBP one-shot",
+            "RBP recompute",
+            "RBP sliding",
+            "PRBP",
+        ],
     );
 
     let original = fig1_full();
@@ -28,8 +34,7 @@ pub fn run() -> Table {
         ("Figure 1 + w0 (B.2)", fig1_sliding_resistant().dag),
     ];
     for (name, dag) in &variants {
-        let one_shot =
-            exact::optimal_rbp_cost(dag, RbpConfig::new(r), search()).unwrap();
+        let one_shot = exact::optimal_rbp_cost(dag, RbpConfig::new(r), search()).unwrap();
         let recompute =
             exact::optimal_rbp_cost(dag, RbpConfig::new(r).with_recompute(), search()).unwrap();
         let sliding =

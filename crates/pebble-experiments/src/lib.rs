@@ -8,6 +8,8 @@
 //! sequence was replayed through the simulators) or an exact optimum from the
 //! solvers — never a formula evaluated on faith.
 
+#![deny(missing_docs)]
+
 pub mod table;
 
 pub mod e01_fig1;
@@ -69,7 +71,12 @@ mod tests {
             assert!(!table.rows.is_empty(), "{} has no rows", table.title);
             assert!(!table.columns.is_empty());
             for row in &table.rows {
-                assert_eq!(row.len(), table.columns.len(), "ragged row in {}", table.title);
+                assert_eq!(
+                    row.len(),
+                    table.columns.len(),
+                    "ragged row in {}",
+                    table.title
+                );
             }
         }
     }

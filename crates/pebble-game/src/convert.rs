@@ -23,14 +23,22 @@ pub enum ConvertError {
     /// The converted move was rejected by the PRBP simulator; this indicates
     /// the original RBP trace was itself invalid (e.g. it relied on
     /// re-computation).
-    InvalidAt { index: usize, message: String },
+    InvalidAt {
+        /// Index of the offending move in the RBP trace.
+        index: usize,
+        /// The PRBP simulator's rejection message.
+        message: String,
+    },
 }
 
 impl fmt::Display for ConvertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConvertError::SlidingMove(i) => {
-                write!(f, "RBP move {i} is a slide; sliding traces are not convertible")
+                write!(
+                    f,
+                    "RBP move {i} is a slide; sliding traces are not convertible"
+                )
             }
             ConvertError::InvalidAt { index, message } => {
                 write!(f, "conversion failed at RBP move {index}: {message}")
@@ -75,7 +83,12 @@ pub fn rbp_to_prbp(dag: &Dag, rbp_trace: &RbpTrace, r: usize) -> Result<PrbpTrac
             }
             RbpMove::Compute(v) => {
                 for &(u, _) in dag.in_edges(v) {
-                    push(&mut game, &mut out, i, PrbpMove::PartialCompute { from: u, to: v })?;
+                    push(
+                        &mut game,
+                        &mut out,
+                        i,
+                        PrbpMove::PartialCompute { from: u, to: v },
+                    )?;
                 }
             }
             RbpMove::Delete(v) => {
@@ -150,7 +163,10 @@ mod tests {
         let g = b.build().unwrap();
         let rbp = RbpTrace::from_moves(vec![
             RbpMove::Load(NodeId(0)),
-            RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) },
+            RbpMove::ComputeSlide {
+                node: NodeId(1),
+                from: NodeId(0),
+            },
             RbpMove::Save(NodeId(1)),
         ]);
         assert_eq!(rbp_to_prbp(&g, &rbp, 2), Err(ConvertError::SlidingMove(1)));

@@ -47,15 +47,13 @@ impl CostModel {
     /// Total cost of an RBP trace: `io_cost` per load/save plus
     /// `compute_cost` per compute step (including slides).
     pub fn rbp_cost(&self, trace: &RbpTrace) -> f64 {
-        self.io_cost * trace.io_cost() as f64
-            + self.compute_cost * trace.compute_steps() as f64
+        self.io_cost * trace.io_cost() as f64 + self.compute_cost * trace.compute_steps() as f64
     }
 
     /// Total cost of a PRBP trace with a *flat* `ε` per partial compute step,
     /// which sums to `ε·|E|` over a one-shot pebbling.
     pub fn prbp_cost_flat(&self, trace: &PrbpTrace) -> f64 {
-        self.io_cost * trace.io_cost() as f64
-            + self.compute_cost * trace.compute_steps() as f64
+        self.io_cost * trace.io_cost() as f64 + self.compute_cost * trace.compute_steps() as f64
     }
 
     /// Total cost of a PRBP trace where a partial compute into node `v` costs
@@ -119,10 +117,16 @@ mod tests {
         let g = join();
         let trace = PrbpTrace::from_moves(vec![
             PrbpMove::Load(NodeId(0)),
-            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(2) },
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(2),
+            },
             PrbpMove::Delete(NodeId(0)),
             PrbpMove::Load(NodeId(1)),
-            PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) },
+            PrbpMove::PartialCompute {
+                from: NodeId(1),
+                to: NodeId(2),
+            },
             PrbpMove::Save(NodeId(2)),
         ]);
         let m = CostModel::with_compute_cost(0.5);

@@ -68,7 +68,10 @@ fn solve(
         let mut h = 0;
         for &s in &sources {
             if !st.nodes[s.index()].has_red()
-                && dag.out_edges(s).iter().any(|&(_, e)| !st.marked.contains(e.index()))
+                && dag
+                    .out_edges(s)
+                    .iter()
+                    .any(|&(_, e)| !st.marked.contains(e.index()))
             {
                 h += 1;
             }
@@ -104,44 +107,55 @@ fn solve(
             return Ok((g, trace));
         }
         if states.len() > search.max_states {
-            return Err(ExactError::StateLimitExceeded { explored: states.len() });
+            return Err(ExactError::StateLimitExceeded {
+                explored: states.len(),
+            });
         }
 
         let red_count = state.nodes.iter().filter(|s| s.has_red()).count();
         // Per-node counts of unmarked in/out edges in this state.
         let fully_computed = |v: NodeId| {
-            dag.in_edges(v).iter().all(|&(_, e)| state.marked.contains(e.index()))
+            dag.in_edges(v)
+                .iter()
+                .all(|&(_, e)| state.marked.contains(e.index()))
         };
         let all_out_marked = |v: NodeId| {
-            dag.out_edges(v).iter().all(|&(_, e)| state.marked.contains(e.index()))
+            dag.out_edges(v)
+                .iter()
+                .all(|&(_, e)| state.marked.contains(e.index()))
         };
 
-        let push_succ = |succ: PrbpSearchState,
-                             mv: PrbpMove,
-                             cost: usize,
-                             states: &mut Vec<PrbpSearchState>,
-                             index: &mut HashMap<PrbpSearchState, usize>,
-                             dist: &mut Vec<usize>,
-                             parent: &mut Vec<Option<(usize, PrbpMove)>>,
-                             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
-            let new_g = g + cost;
-            let succ_idx = match index.get(&succ) {
-                Some(&i) => i,
-                None => {
-                    let i = states.len();
-                    states.push(succ.clone());
-                    index.insert(succ, i);
-                    dist.push(usize::MAX);
-                    parent.push(None);
-                    i
+        let push_succ =
+            |succ: PrbpSearchState,
+             mv: PrbpMove,
+             cost: usize,
+             states: &mut Vec<PrbpSearchState>,
+             index: &mut HashMap<PrbpSearchState, usize>,
+             dist: &mut Vec<usize>,
+             parent: &mut Vec<Option<(usize, PrbpMove)>>,
+             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
+                let new_g = g + cost;
+                let succ_idx = match index.get(&succ) {
+                    Some(&i) => i,
+                    None => {
+                        let i = states.len();
+                        states.push(succ.clone());
+                        index.insert(succ, i);
+                        dist.push(usize::MAX);
+                        parent.push(None);
+                        i
+                    }
+                };
+                if new_g < dist[succ_idx] {
+                    dist[succ_idx] = new_g;
+                    parent[succ_idx] = Some((idx, mv));
+                    heap.push(Reverse((
+                        new_g + heuristic(&states[succ_idx]),
+                        new_g,
+                        succ_idx,
+                    )));
                 }
             };
-            if new_g < dist[succ_idx] {
-                dist[succ_idx] = new_g;
-                parent[succ_idx] = Some((idx, mv));
-                heap.push(Reverse((new_g + heuristic(&states[succ_idx]), new_g, succ_idx)));
-            }
-        };
 
         for v in dag.nodes() {
             let vi = v.index();
@@ -150,22 +164,58 @@ fn solve(
                     if red_count < config.r {
                         let mut s = state.clone();
                         s.nodes[vi] = PebbleState::BlueAndLightRed;
-                        push_succ(s, PrbpMove::Load(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                        push_succ(
+                            s,
+                            PrbpMove::Load(v),
+                            1,
+                            &mut states,
+                            &mut index,
+                            &mut dist,
+                            &mut parent,
+                            &mut heap,
+                        );
                     }
                 }
                 PebbleState::BlueAndLightRed => {
                     let mut s = state.clone();
                     s.nodes[vi] = PebbleState::Blue;
-                    push_succ(s, PrbpMove::Delete(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                    push_succ(
+                        s,
+                        PrbpMove::Delete(v),
+                        0,
+                        &mut states,
+                        &mut index,
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
                 }
                 PebbleState::DarkRed => {
                     let mut s = state.clone();
                     s.nodes[vi] = PebbleState::BlueAndLightRed;
-                    push_succ(s, PrbpMove::Save(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                    push_succ(
+                        s,
+                        PrbpMove::Save(v),
+                        1,
+                        &mut states,
+                        &mut index,
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
                     if !config.no_delete && !dag.is_sink(v) && all_out_marked(v) {
                         let mut s = state.clone();
                         s.nodes[vi] = PebbleState::Empty;
-                        push_succ(s, PrbpMove::Delete(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                        push_succ(
+                            s,
+                            PrbpMove::Delete(v),
+                            0,
+                            &mut states,
+                            &mut index,
+                            &mut dist,
+                            &mut parent,
+                            &mut heap,
+                        );
                     }
                 }
                 PebbleState::Empty => {}
@@ -193,7 +243,11 @@ fn solve(
                 s,
                 PrbpMove::PartialCompute { from: u, to: v },
                 0,
-                &mut states, &mut index, &mut dist, &mut parent, &mut heap,
+                &mut states,
+                &mut index,
+                &mut dist,
+                &mut parent,
+                &mut heap,
             );
         }
     }
@@ -311,7 +365,8 @@ mod tests {
     #[test]
     fn state_limit_is_reported() {
         let f = fig1_full();
-        let result = optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::with_max_states(3));
+        let result =
+            optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::with_max_states(3));
         assert!(matches!(result, Err(ExactError::StateLimitExceeded { .. })));
     }
 }

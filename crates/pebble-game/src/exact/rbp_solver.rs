@@ -82,8 +82,7 @@ fn solve(
         h
     };
 
-    let is_goal =
-        |st: &RbpState| -> bool { sinks.iter().all(|t| st.blue.contains(t.index())) };
+    let is_goal = |st: &RbpState| -> bool { sinks.iter().all(|t| st.blue.contains(t.index())) };
 
     let mut states: Vec<RbpState> = vec![start.clone()];
     let mut index: HashMap<RbpState, usize> = HashMap::new();
@@ -104,36 +103,43 @@ fn solve(
             return Ok((g, trace));
         }
         if states.len() > search.max_states {
-            return Err(ExactError::StateLimitExceeded { explored: states.len() });
+            return Err(ExactError::StateLimitExceeded {
+                explored: states.len(),
+            });
         }
 
         let red_count = state.red.count();
-        let push_succ = |succ: RbpState,
-                             mv: RbpMove,
-                             cost: usize,
-                             states: &mut Vec<RbpState>,
-                             index: &mut HashMap<RbpState, usize>,
-                             dist: &mut Vec<usize>,
-                             parent: &mut Vec<Option<(usize, RbpMove)>>,
-                             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
-            let new_g = g + cost;
-            let succ_idx = match index.get(&succ) {
-                Some(&i) => i,
-                None => {
-                    let i = states.len();
-                    states.push(succ.clone());
-                    index.insert(succ, i);
-                    dist.push(usize::MAX);
-                    parent.push(None);
-                    i
+        let push_succ =
+            |succ: RbpState,
+             mv: RbpMove,
+             cost: usize,
+             states: &mut Vec<RbpState>,
+             index: &mut HashMap<RbpState, usize>,
+             dist: &mut Vec<usize>,
+             parent: &mut Vec<Option<(usize, RbpMove)>>,
+             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
+                let new_g = g + cost;
+                let succ_idx = match index.get(&succ) {
+                    Some(&i) => i,
+                    None => {
+                        let i = states.len();
+                        states.push(succ.clone());
+                        index.insert(succ, i);
+                        dist.push(usize::MAX);
+                        parent.push(None);
+                        i
+                    }
+                };
+                if new_g < dist[succ_idx] {
+                    dist[succ_idx] = new_g;
+                    parent[succ_idx] = Some((idx, mv));
+                    heap.push(Reverse((
+                        new_g + heuristic(&states[succ_idx]),
+                        new_g,
+                        succ_idx,
+                    )));
                 }
             };
-            if new_g < dist[succ_idx] {
-                dist[succ_idx] = new_g;
-                parent[succ_idx] = Some((idx, mv));
-                heap.push(Reverse((new_g + heuristic(&states[succ_idx]), new_g, succ_idx)));
-            }
-        };
 
         for v in dag.nodes() {
             let vi = v.index();
@@ -141,13 +147,31 @@ fn solve(
             if state.blue.contains(vi) && !state.red.contains(vi) && red_count < config.r {
                 let mut s = state.clone();
                 s.red.insert(vi);
-                push_succ(s, RbpMove::Load(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                push_succ(
+                    s,
+                    RbpMove::Load(v),
+                    1,
+                    &mut states,
+                    &mut index,
+                    &mut dist,
+                    &mut parent,
+                    &mut heap,
+                );
             }
             // Save.
             if state.red.contains(vi) && !state.blue.contains(vi) {
                 let mut s = state.clone();
                 s.blue.insert(vi);
-                push_succ(s, RbpMove::Save(v), 1, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                push_succ(
+                    s,
+                    RbpMove::Save(v),
+                    1,
+                    &mut states,
+                    &mut index,
+                    &mut dist,
+                    &mut parent,
+                    &mut heap,
+                );
             }
             // Compute (and slides).
             if !dag.is_source(v)
@@ -158,7 +182,16 @@ fn solve(
                     let mut s = state.clone();
                     s.red.insert(vi);
                     s.computed.insert(vi);
-                    push_succ(s, RbpMove::Compute(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                    push_succ(
+                        s,
+                        RbpMove::Compute(v),
+                        0,
+                        &mut states,
+                        &mut index,
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
                 }
                 if config.allow_sliding {
                     for &(u, _) in dag.in_edges(v) {
@@ -170,7 +203,11 @@ fn solve(
                             s,
                             RbpMove::ComputeSlide { node: v, from: u },
                             0,
-                            &mut states, &mut index, &mut dist, &mut parent, &mut heap,
+                            &mut states,
+                            &mut index,
+                            &mut dist,
+                            &mut parent,
+                            &mut heap,
                         );
                     }
                 }
@@ -181,11 +218,22 @@ fn solve(
             if !config.no_delete && state.red.contains(vi) {
                 let safe = config.allow_recompute
                     || state.blue.contains(vi)
-                    || dag.successors(v).all(|w| state.computed.contains(w.index()));
+                    || dag
+                        .successors(v)
+                        .all(|w| state.computed.contains(w.index()));
                 if safe {
                     let mut s = state.clone();
                     s.red.remove(vi);
-                    push_succ(s, RbpMove::Delete(v), 0, &mut states, &mut index, &mut dist, &mut parent, &mut heap);
+                    push_succ(
+                        s,
+                        RbpMove::Delete(v),
+                        0,
+                        &mut states,
+                        &mut index,
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
                 }
             }
         }
@@ -236,7 +284,12 @@ mod tests {
         );
         // Sliding reduces the requirement by one pebble.
         assert_eq!(
-            optimal_rbp_cost(&g, RbpConfig::new(2).with_sliding(), SearchConfig::default()).unwrap(),
+            optimal_rbp_cost(
+                &g,
+                RbpConfig::new(2).with_sliding(),
+                SearchConfig::default()
+            )
+            .unwrap(),
             3
         );
     }

@@ -35,6 +35,8 @@
 //! * [`trace`] — recorded pebblings that can be replayed, validated, printed
 //!   and serialised.
 
+#![deny(missing_docs)]
+
 pub mod convert;
 pub mod cost;
 pub mod exact;

@@ -145,13 +145,21 @@ mod tests {
         assert_eq!(RbpMove::Compute(NodeId(0)).io_cost(), 0);
         assert_eq!(RbpMove::Delete(NodeId(0)).io_cost(), 0);
         assert_eq!(
-            RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) }.io_cost(),
+            RbpMove::ComputeSlide {
+                node: NodeId(1),
+                from: NodeId(0)
+            }
+            .io_cost(),
             0
         );
         assert_eq!(PrbpMove::Load(NodeId(0)).io_cost(), 1);
         assert_eq!(PrbpMove::Save(NodeId(0)).io_cost(), 1);
         assert_eq!(
-            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) }.io_cost(),
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1)
+            }
+            .io_cost(),
             0
         );
         assert_eq!(PrbpMove::Delete(NodeId(0)).io_cost(), 0);
@@ -161,9 +169,17 @@ mod tests {
     #[test]
     fn compute_classification() {
         assert!(RbpMove::Compute(NodeId(0)).is_compute());
-        assert!(RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) }.is_compute());
+        assert!(RbpMove::ComputeSlide {
+            node: NodeId(1),
+            from: NodeId(0)
+        }
+        .is_compute());
         assert!(!RbpMove::Load(NodeId(0)).is_compute());
-        assert!(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) }.is_compute());
+        assert!(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1)
+        }
+        .is_compute());
         assert!(!PrbpMove::Save(NodeId(0)).is_compute());
     }
 
@@ -171,7 +187,11 @@ mod tests {
     fn display_formats() {
         assert_eq!(RbpMove::Load(NodeId(3)).to_string(), "load 3");
         assert_eq!(
-            PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) }.to_string(),
+            PrbpMove::PartialCompute {
+                from: NodeId(1),
+                to: NodeId(2)
+            }
+            .to_string(),
             "pc (1,2)"
         );
         assert_eq!(Model::Rbp.to_string(), "RBP");

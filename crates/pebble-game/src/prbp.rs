@@ -77,16 +77,41 @@ pub enum PrbpError {
     /// Save requires a dark red pebble.
     SaveWithoutDarkRed(NodeId),
     /// The edge of a partial compute does not exist in the DAG.
-    NoSuchEdge { from: NodeId, to: NodeId },
+    NoSuchEdge {
+        /// Source endpoint of the offending edge.
+        from: NodeId,
+        /// Target endpoint of the offending edge.
+        to: NodeId,
+    },
     /// The edge was already marked (one-shot violation).
-    EdgeAlreadyMarked { from: NodeId, to: NodeId },
+    EdgeAlreadyMarked {
+        /// Source endpoint of the offending edge.
+        from: NodeId,
+        /// Target endpoint of the offending edge.
+        to: NodeId,
+    },
     /// The input node of a partial compute is not fully computed yet.
-    InputNotFullyComputed { from: NodeId, to: NodeId },
+    InputNotFullyComputed {
+        /// Source endpoint of the offending edge.
+        from: NodeId,
+        /// Target endpoint of the offending edge.
+        to: NodeId,
+    },
     /// The input node of a partial compute holds no red pebble.
-    InputNotInFastMemory { from: NodeId, to: NodeId },
+    InputNotInFastMemory {
+        /// Source endpoint of the offending edge.
+        from: NodeId,
+        /// Target endpoint of the offending edge.
+        to: NodeId,
+    },
     /// The target of a partial compute holds only a blue pebble (its partial
     /// value would be lost); it must be loaded first.
-    TargetOnlyInSlowMemory { from: NodeId, to: NodeId },
+    TargetOnlyInSlowMemory {
+        /// Source endpoint of the offending edge.
+        from: NodeId,
+        /// Target endpoint of the offending edge.
+        to: NodeId,
+    },
     /// Delete requires a red pebble.
     DeleteWithoutRed(NodeId),
     /// A dark red pebble can only be deleted once its value is no longer
@@ -99,7 +124,10 @@ pub enum PrbpError {
     /// Clear applied to a source or sink node.
     ClearOnSourceOrSink(NodeId),
     /// The move would exceed the fast-memory capacity `r`.
-    CapacityExceeded { r: usize },
+    CapacityExceeded {
+        /// The configured fast-memory capacity that would be exceeded.
+        r: usize,
+    },
 }
 
 impl fmt::Display for PrbpError {
@@ -118,7 +146,10 @@ impl fmt::Display for PrbpError {
                 write!(f, "pc ({from},{to}): {from} holds no red pebble")
             }
             PrbpError::TargetOnlyInSlowMemory { from, to } => {
-                write!(f, "pc ({from},{to}): {to} holds only a blue pebble; load it first")
+                write!(
+                    f,
+                    "pc ({from},{to}): {to} holds only a blue pebble; load it first"
+                )
             }
             PrbpError::DeleteWithoutRed(v) => write!(f, "delete {v}: node has no red pebble"),
             PrbpError::DeleteDarkStillNeeded(v) => {
@@ -410,10 +441,16 @@ mod tests {
         let cost = game
             .run([
                 PrbpMove::Load(NodeId(0)),
-                PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(2) },
+                PrbpMove::PartialCompute {
+                    from: NodeId(0),
+                    to: NodeId(2),
+                },
                 PrbpMove::Delete(NodeId(0)),
                 PrbpMove::Load(NodeId(1)),
-                PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) },
+                PrbpMove::PartialCompute {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                },
                 PrbpMove::Delete(NodeId(1)),
                 PrbpMove::Save(NodeId(2)),
             ])
@@ -431,7 +468,9 @@ mod tests {
         let mut rbp = crate::rbp::RbpGame::new(&g, crate::rbp::RbpConfig::new(2));
         rbp.apply(crate::moves::RbpMove::Load(NodeId(0))).unwrap();
         rbp.apply(crate::moves::RbpMove::Load(NodeId(1))).unwrap();
-        assert!(rbp.apply(crate::moves::RbpMove::Compute(NodeId(2))).is_err());
+        assert!(rbp
+            .apply(crate::moves::RbpMove::Compute(NodeId(2)))
+            .is_err());
     }
 
     #[test]
@@ -440,26 +479,53 @@ mod tests {
         let mut game = PrbpGame::new(&g, PrbpConfig::new(3));
         // Input not in fast memory.
         assert_eq!(
-            game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) }),
-            Err(PrbpError::InputNotInFastMemory { from: NodeId(0), to: NodeId(1) })
+            game.apply(PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1)
+            }),
+            Err(PrbpError::InputNotInFastMemory {
+                from: NodeId(0),
+                to: NodeId(1)
+            })
         );
         game.apply(PrbpMove::Load(NodeId(0))).unwrap();
         // Input of the second edge is not fully computed yet.
         assert_eq!(
-            game.apply(PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) }),
-            Err(PrbpError::InputNotFullyComputed { from: NodeId(1), to: NodeId(2) })
+            game.apply(PrbpMove::PartialCompute {
+                from: NodeId(1),
+                to: NodeId(2)
+            }),
+            Err(PrbpError::InputNotFullyComputed {
+                from: NodeId(1),
+                to: NodeId(2)
+            })
         );
         // No such edge.
         assert_eq!(
-            game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(2) }),
-            Err(PrbpError::NoSuchEdge { from: NodeId(0), to: NodeId(2) })
+            game.apply(PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(2)
+            }),
+            Err(PrbpError::NoSuchEdge {
+                from: NodeId(0),
+                to: NodeId(2)
+            })
         );
-        game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) })
-            .unwrap();
+        game.apply(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1),
+        })
+        .unwrap();
         // One-shot: the edge cannot be marked twice.
         assert_eq!(
-            game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) }),
-            Err(PrbpError::EdgeAlreadyMarked { from: NodeId(0), to: NodeId(1) })
+            game.apply(PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1)
+            }),
+            Err(PrbpError::EdgeAlreadyMarked {
+                from: NodeId(0),
+                to: NodeId(1)
+            })
         );
     }
 
@@ -468,8 +534,11 @@ mod tests {
         let g = join();
         let mut game = PrbpGame::new(&g, PrbpConfig::new(3));
         game.apply(PrbpMove::Load(NodeId(0))).unwrap();
-        game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(2) })
-            .unwrap();
+        game.apply(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(2),
+        })
+        .unwrap();
         // Save the partial value of node 2, then delete its light red pebble:
         // node 2 is now blue-only.
         game.apply(PrbpMove::Save(NodeId(2))).unwrap();
@@ -478,13 +547,22 @@ mod tests {
         game.apply(PrbpMove::Load(NodeId(1))).unwrap();
         // Aggregating into a blue-only node is forbidden.
         assert_eq!(
-            game.apply(PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) }),
-            Err(PrbpError::TargetOnlyInSlowMemory { from: NodeId(1), to: NodeId(2) })
+            game.apply(PrbpMove::PartialCompute {
+                from: NodeId(1),
+                to: NodeId(2)
+            }),
+            Err(PrbpError::TargetOnlyInSlowMemory {
+                from: NodeId(1),
+                to: NodeId(2)
+            })
         );
         // Loading it back makes the aggregation legal again.
         game.apply(PrbpMove::Load(NodeId(2))).unwrap();
-        game.apply(PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) })
-            .unwrap();
+        game.apply(PrbpMove::PartialCompute {
+            from: NodeId(1),
+            to: NodeId(2),
+        })
+        .unwrap();
         assert_eq!(game.pebble_state(NodeId(2)), PebbleState::DarkRed);
         game.apply(PrbpMove::Save(NodeId(2))).unwrap();
         assert!(game.is_terminal());
@@ -496,15 +574,21 @@ mod tests {
         let g = chain3();
         let mut game = PrbpGame::new(&g, PrbpConfig::new(3));
         game.apply(PrbpMove::Load(NodeId(0))).unwrap();
-        game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) })
-            .unwrap();
+        game.apply(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1),
+        })
+        .unwrap();
         // Node 1 is dark red and its out-edge (1, 2) is unmarked: delete is illegal.
         assert_eq!(
             game.apply(PrbpMove::Delete(NodeId(1))),
             Err(PrbpError::DeleteDarkStillNeeded(NodeId(1)))
         );
-        game.apply(PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) })
-            .unwrap();
+        game.apply(PrbpMove::PartialCompute {
+            from: NodeId(1),
+            to: NodeId(2),
+        })
+        .unwrap();
         // Now all out-edges of node 1 are marked and the dark pebble can go.
         game.apply(PrbpMove::Delete(NodeId(1))).unwrap();
         assert_eq!(game.pebble_state(NodeId(1)), PebbleState::Empty);
@@ -520,7 +604,10 @@ mod tests {
             Err(PrbpError::CapacityExceeded { r: 1 })
         );
         assert_eq!(
-            game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(2) }),
+            game.apply(PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(2)
+            }),
             Err(PrbpError::CapacityExceeded { r: 1 })
         );
     }
@@ -554,8 +641,14 @@ mod tests {
         let mut game = PrbpGame::new(&g, PrbpConfig::new(3));
         game.run([
             PrbpMove::Load(NodeId(0)),
-            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) },
-            PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) },
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            PrbpMove::PartialCompute {
+                from: NodeId(1),
+                to: NodeId(2),
+            },
         ])
         .unwrap();
         assert!(!game.is_terminal()); // sink not yet saved
@@ -569,7 +662,10 @@ mod tests {
         let mut game = PrbpGame::new(&g, PrbpConfig::new(3).with_clear());
         game.run([
             PrbpMove::Load(NodeId(0)),
-            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) },
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
         ])
         .unwrap();
         assert!(game.is_fully_computed(NodeId(1)));
@@ -577,9 +673,12 @@ mod tests {
         assert_eq!(game.pebble_state(NodeId(1)), PebbleState::Empty);
         assert!(!game.is_fully_computed(NodeId(1)));
         assert_eq!(game.red_count(), 1); // only the source remains red
-        // Re-computation is possible again.
-        game.apply(PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) })
-            .unwrap();
+                                         // Re-computation is possible again.
+        game.apply(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1),
+        })
+        .unwrap();
         assert!(game.is_fully_computed(NodeId(1)));
     }
 
@@ -608,8 +707,14 @@ mod tests {
         let mut game = PrbpGame::new(&g, PrbpConfig::new(3).with_no_delete());
         game.run([
             PrbpMove::Load(NodeId(0)),
-            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) },
-            PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) },
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            PrbpMove::PartialCompute {
+                from: NodeId(1),
+                to: NodeId(2),
+            },
         ])
         .unwrap();
         assert_eq!(
@@ -629,7 +734,10 @@ mod tests {
         let err = game
             .run([
                 PrbpMove::Load(NodeId(0)),
-                PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) },
+                PrbpMove::PartialCompute {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                },
             ])
             .unwrap_err();
         assert_eq!(err.0, 1);

@@ -71,9 +71,17 @@ pub enum RbpError {
     /// Sliding moves are not enabled in this configuration.
     SlidingNotAllowed(NodeId),
     /// The `from` node of a slide must be an in-neighbour of the target.
-    SlideFromNotPredecessor { node: NodeId, from: NodeId },
+    SlideFromNotPredecessor {
+        /// The node being computed by the slide.
+        node: NodeId,
+        /// The claimed in-neighbour the pebble would slide from.
+        from: NodeId,
+    },
     /// The move would exceed the fast-memory capacity `r`.
-    CapacityExceeded { r: usize },
+    CapacityExceeded {
+        /// The configured fast-memory capacity that would be exceeded.
+        r: usize,
+    },
 }
 
 impl fmt::Display for RbpError {
@@ -420,19 +428,28 @@ mod tests {
         let mut game = RbpGame::new(&g, RbpConfig::new(2));
         game.apply(RbpMove::Load(NodeId(0))).unwrap();
         assert_eq!(
-            game.apply(RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) }),
+            game.apply(RbpMove::ComputeSlide {
+                node: NodeId(1),
+                from: NodeId(0)
+            }),
             Err(RbpError::SlidingNotAllowed(NodeId(1)))
         );
         // With the flag, the pebble moves and capacity stays at 1.
         let mut game = RbpGame::new(&g, RbpConfig::new(1).with_sliding());
         game.apply(RbpMove::Load(NodeId(0))).unwrap();
-        game.apply(RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) })
-            .unwrap();
+        game.apply(RbpMove::ComputeSlide {
+            node: NodeId(1),
+            from: NodeId(0),
+        })
+        .unwrap();
         assert!(!game.has_red(NodeId(0)));
         assert!(game.has_red(NodeId(1)));
         assert_eq!(game.red_count(), 1);
-        game.apply(RbpMove::ComputeSlide { node: NodeId(2), from: NodeId(1) })
-            .unwrap();
+        game.apply(RbpMove::ComputeSlide {
+            node: NodeId(2),
+            from: NodeId(1),
+        })
+        .unwrap();
         game.apply(RbpMove::Save(NodeId(2))).unwrap();
         assert!(game.is_terminal());
         assert_eq!(game.io_cost(), 2);
@@ -445,8 +462,14 @@ mod tests {
         game.apply(RbpMove::Load(NodeId(0))).unwrap();
         game.apply(RbpMove::Load(NodeId(1))).unwrap();
         assert_eq!(
-            game.apply(RbpMove::ComputeSlide { node: NodeId(1), from: NodeId(0) }),
-            Err(RbpError::SlideFromNotPredecessor { node: NodeId(1), from: NodeId(0) })
+            game.apply(RbpMove::ComputeSlide {
+                node: NodeId(1),
+                from: NodeId(0)
+            }),
+            Err(RbpError::SlideFromNotPredecessor {
+                node: NodeId(1),
+                from: NodeId(0)
+            })
         );
     }
 

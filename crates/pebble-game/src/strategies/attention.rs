@@ -128,11 +128,21 @@ mod tests {
 
     #[test]
     fn streaming_strategy_is_valid_and_matches_estimate() {
-        for (m, d, r) in [(3usize, 2usize, 11usize), (4, 2, 19), (4, 2, 35), (3, 3, 15), (6, 2, 19)] {
+        for (m, d, r) in [
+            (3usize, 2usize, 11usize),
+            (4, 2, 19),
+            (4, 2, 35),
+            (3, 3, 15),
+            (6, 2, 19),
+        ] {
             let att = attention_full(m, d);
             let trace = prbp_streaming(&att, r).expect("streaming strategy exists");
             let cost = trace.validate(&att.dag, PrbpConfig::new(r)).unwrap();
-            assert_eq!(cost, streaming_cost_estimate(m, d, r).unwrap(), "m={m} d={d} r={r}");
+            assert_eq!(
+                cost,
+                streaming_cost_estimate(m, d, r).unwrap(),
+                "m={m} d={d} r={r}"
+            );
         }
     }
 

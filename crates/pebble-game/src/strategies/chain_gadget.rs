@@ -98,7 +98,9 @@ mod tests {
         for copies in [1, 2, 3, 8, 20] {
             let c = chained_gadgets(copies);
             let trace = prbp_trace(&c);
-            let cost = trace.validate(&c.dag, PrbpConfig::new(CHAIN_CACHE)).unwrap();
+            let cost = trace
+                .validate(&c.dag, PrbpConfig::new(CHAIN_CACHE))
+                .unwrap();
             assert_eq!(cost, 2, "copies={copies}");
         }
     }

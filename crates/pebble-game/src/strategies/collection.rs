@@ -123,13 +123,22 @@ mod tests {
     #[test]
     fn full_cache_strategies_need_d_plus_two() {
         let p = pebble_collection(4, 8);
-        assert!(rbp_full_cache(&p).validate(&p.dag, RbpConfig::new(5)).is_err());
-        assert!(prbp_full_cache(&p).validate(&p.dag, PrbpConfig::new(5)).is_err());
+        assert!(rbp_full_cache(&p)
+            .validate(&p.dag, RbpConfig::new(5))
+            .is_err());
+        assert!(prbp_full_cache(&p)
+            .validate(&p.dag, PrbpConfig::new(5))
+            .is_err());
     }
 
     #[test]
     fn restricted_strategy_is_valid_and_respects_lower_bound() {
-        for (d, len, r) in [(4usize, 16usize, 5usize), (4, 16, 4), (6, 36, 7), (6, 36, 5)] {
+        for (d, len, r) in [
+            (4usize, 16usize, 5usize),
+            (4, 16, 4),
+            (6, 36, 7),
+            (6, 36, 5),
+        ] {
             let p = pebble_collection(d, len);
             let trace = prbp_restricted(&p, r).expect("restricted strategy exists");
             let cost = trace.validate(&p.dag, PrbpConfig::new(r)).unwrap();
@@ -140,7 +149,10 @@ mod tests {
             assert!(extra >= restricted_lower_bound(d, len), "d={d} r={r}");
             // Missing sources are hit (d − r + 2) times out of every d steps.
             let expected_extra = len.div_ceil(d) * (d - (r - 2));
-            assert!(extra <= expected_extra, "d={d} r={r}: {extra} > {expected_extra}");
+            assert!(
+                extra <= expected_extra,
+                "d={d} r={r}: {extra} > {expected_extra}"
+            );
         }
     }
 

@@ -98,7 +98,14 @@ mod tests {
 
     #[test]
     fn blocked_strategy_is_valid_for_various_sizes() {
-        for (m, r) in [(8usize, 4usize), (8, 8), (16, 8), (16, 16), (32, 8), (64, 16)] {
+        for (m, r) in [
+            (8usize, 4usize),
+            (8, 8),
+            (16, 8),
+            (16, 16),
+            (32, 8),
+            (64, 16),
+        ] {
             let f = fft(m);
             let trace = rbp_blocked(&f, r).expect("strategy exists");
             let cost = trace.validate(&f.dag, RbpConfig::new(r)).unwrap();
@@ -122,9 +129,18 @@ mod tests {
     #[test]
     fn bigger_cache_means_fewer_ios() {
         let f = fft(64);
-        let small = rbp_blocked(&f, 4).unwrap().validate(&f.dag, RbpConfig::new(4)).unwrap();
-        let medium = rbp_blocked(&f, 16).unwrap().validate(&f.dag, RbpConfig::new(16)).unwrap();
-        let large = rbp_blocked(&f, 128).unwrap().validate(&f.dag, RbpConfig::new(128)).unwrap();
+        let small = rbp_blocked(&f, 4)
+            .unwrap()
+            .validate(&f.dag, RbpConfig::new(4))
+            .unwrap();
+        let medium = rbp_blocked(&f, 16)
+            .unwrap()
+            .validate(&f.dag, RbpConfig::new(16))
+            .unwrap();
+        let large = rbp_blocked(&f, 128)
+            .unwrap()
+            .validate(&f.dag, RbpConfig::new(128))
+            .unwrap();
         assert!(small > medium);
         assert!(medium > large);
     }

@@ -79,14 +79,20 @@ mod tests {
     fn rbp_trace_is_valid_and_costs_three() {
         let f = fig1_full();
         let trace = rbp_optimal_trace(&f);
-        assert_eq!(trace.validate(&f.dag, RbpConfig::new(FIG1_CACHE)).unwrap(), 3);
+        assert_eq!(
+            trace.validate(&f.dag, RbpConfig::new(FIG1_CACHE)).unwrap(),
+            3
+        );
     }
 
     #[test]
     fn prbp_trace_is_valid_and_costs_two() {
         let f = fig1_full();
         let trace = prbp_optimal_trace(&f);
-        assert_eq!(trace.validate(&f.dag, PrbpConfig::new(FIG1_CACHE)).unwrap(), 2);
+        assert_eq!(
+            trace.validate(&f.dag, PrbpConfig::new(FIG1_CACHE)).unwrap(),
+            2
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use pebble_dag::generators::MatMulDag;
 /// (`t`) and one scratch product must fit, i.e. `t² + 2t + 1 ≤ r`.
 pub fn tile_size(r: usize) -> Option<usize> {
     let mut t = 0usize;
-    while (t + 1) * (t + 1) + 2 * (t + 1) + 1 <= r {
+    while (t + 1) * (t + 1) + 2 * (t + 1) < r {
         t += 1;
     }
     if t == 0 {
@@ -147,7 +147,12 @@ mod tests {
 
     #[test]
     fn tiled_strategy_is_valid_and_matches_estimate() {
-        for (dims, r) in [((3usize, 3usize, 3usize), 9usize), ((4, 4, 4), 16), ((4, 5, 6), 9), ((6, 6, 6), 24)] {
+        for (dims, r) in [
+            ((3usize, 3usize, 3usize), 9usize),
+            ((4, 4, 4), 16),
+            ((4, 5, 6), 9),
+            ((6, 6, 6), 24),
+        ] {
             let mm = matmul(dims.0, dims.1, dims.2);
             let trace = prbp_tiled(&mm, r).expect("tiled strategy exists");
             let cost = trace.validate(&mm.dag, PrbpConfig::new(r)).unwrap();
@@ -159,7 +164,10 @@ mod tests {
     fn naive_rbp_is_valid_and_much_more_expensive() {
         let mm = matmul(4, 4, 4);
         let r = 4 + 3;
-        let naive = rbp_naive(&mm, r).unwrap().validate(&mm.dag, RbpConfig::new(r)).unwrap();
+        let naive = rbp_naive(&mm, r)
+            .unwrap()
+            .validate(&mm.dag, RbpConfig::new(r))
+            .unwrap();
         assert_eq!(naive, 2 * 64 + 16);
         let tiled = prbp_tiled(&mm, 16)
             .unwrap()
@@ -171,8 +179,14 @@ mod tests {
     #[test]
     fn bigger_cache_reduces_tiled_cost() {
         let mm = matmul(8, 8, 8);
-        let small = prbp_tiled(&mm, 9).unwrap().validate(&mm.dag, PrbpConfig::new(9)).unwrap();
-        let large = prbp_tiled(&mm, 36).unwrap().validate(&mm.dag, PrbpConfig::new(36)).unwrap();
+        let small = prbp_tiled(&mm, 9)
+            .unwrap()
+            .validate(&mm.dag, PrbpConfig::new(9))
+            .unwrap();
+        let large = prbp_tiled(&mm, 36)
+            .unwrap()
+            .validate(&mm.dag, PrbpConfig::new(36))
+            .unwrap();
         assert!(large < small);
     }
 

@@ -214,12 +214,16 @@ mod tests {
 
     fn check_rbp(dag: &Dag, r: usize) -> usize {
         let trace = rbp_topological(dag, r).expect("strategy exists");
-        trace.validate(dag, RbpConfig::new(r)).expect("valid RBP trace")
+        trace
+            .validate(dag, RbpConfig::new(r))
+            .expect("valid RBP trace")
     }
 
     fn check_prbp(dag: &Dag, r: usize) -> usize {
         let trace = prbp_topological(dag, r).expect("strategy exists");
-        trace.validate(dag, PrbpConfig::new(r)).expect("valid PRBP trace")
+        trace
+            .validate(dag, PrbpConfig::new(r))
+            .expect("valid PRBP trace")
     }
 
     #[test]

@@ -194,12 +194,9 @@ mod tests {
     fn strategy_costs_match_exact_optimum_on_small_trees() {
         // Depth-3 binary tree: the hand strategies hit the true optimum.
         let tree = kary_tree(2, 3);
-        let rbp_opt = exact::optimal_rbp_cost(
-            &tree.dag,
-            RbpConfig::new(3),
-            exact::SearchConfig::default(),
-        )
-        .unwrap();
+        let rbp_opt =
+            exact::optimal_rbp_cost(&tree.dag, RbpConfig::new(3), exact::SearchConfig::default())
+                .unwrap();
         assert_eq!(rbp_opt, rbp_tree_cost_formula(2, 3));
         let prbp_opt = exact::optimal_prbp_cost(
             &tree.dag,
@@ -213,7 +210,11 @@ mod tests {
     #[test]
     fn strategies_respect_cache_bound_tightly() {
         let tree = kary_tree(2, 4);
-        assert!(rbp_tree(&tree).validate(&tree.dag, RbpConfig::new(2)).is_err());
-        assert!(prbp_tree(&tree).validate(&tree.dag, PrbpConfig::new(2)).is_err());
+        assert!(rbp_tree(&tree)
+            .validate(&tree.dag, RbpConfig::new(2))
+            .is_err());
+        assert!(prbp_tree(&tree)
+            .validate(&tree.dag, PrbpConfig::new(2))
+            .is_err());
     }
 }

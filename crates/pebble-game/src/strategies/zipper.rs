@@ -137,7 +137,9 @@ mod tests {
         for d in 3..=6 {
             let len = 8;
             let z = zipper(d, len);
-            let rbp_cost = rbp_zipper(&z).validate(&z.dag, RbpConfig::new(d + 2)).unwrap();
+            let rbp_cost = rbp_zipper(&z)
+                .validate(&z.dag, RbpConfig::new(d + 2))
+                .unwrap();
             let prbp_cost = prbp_zipper(&z)
                 .validate(&z.dag, PrbpConfig::new(d + 2))
                 .unwrap();
@@ -149,21 +151,17 @@ mod tests {
     fn exact_confirms_strategies_are_upper_bounds() {
         // Small enough for the exact solvers: d = 3, chain of 3, r = 5.
         let z = zipper(3, 3);
-        let rbp_opt = exact::optimal_rbp_cost(
-            &z.dag,
-            RbpConfig::new(5),
-            exact::SearchConfig::default(),
-        )
-        .unwrap();
-        let prbp_opt = exact::optimal_prbp_cost(
-            &z.dag,
-            PrbpConfig::new(5),
-            exact::SearchConfig::default(),
-        )
-        .unwrap();
+        let rbp_opt =
+            exact::optimal_rbp_cost(&z.dag, RbpConfig::new(5), exact::SearchConfig::default())
+                .unwrap();
+        let prbp_opt =
+            exact::optimal_prbp_cost(&z.dag, PrbpConfig::new(5), exact::SearchConfig::default())
+                .unwrap();
         assert!(prbp_opt <= rbp_opt);
         let rbp_strategy = rbp_zipper(&z).validate(&z.dag, RbpConfig::new(5)).unwrap();
-        let prbp_strategy = prbp_zipper(&z).validate(&z.dag, PrbpConfig::new(5)).unwrap();
+        let prbp_strategy = prbp_zipper(&z)
+            .validate(&z.dag, PrbpConfig::new(5))
+            .unwrap();
         assert!(rbp_opt <= rbp_strategy);
         assert!(prbp_opt <= prbp_strategy);
     }
@@ -172,6 +170,8 @@ mod tests {
     fn strategies_respect_the_cache_bound() {
         let z = zipper(4, 6);
         assert!(rbp_zipper(&z).validate(&z.dag, RbpConfig::new(5)).is_err());
-        assert!(prbp_zipper(&z).validate(&z.dag, PrbpConfig::new(5)).is_err());
+        assert!(prbp_zipper(&z)
+            .validate(&z.dag, PrbpConfig::new(5))
+            .is_err());
     }
 }

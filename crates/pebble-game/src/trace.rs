@@ -169,7 +169,11 @@ pub enum TraceError<E> {
 impl<E: fmt::Display> fmt::Display for TraceError<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceError::InvalidMove { index, description, error } => {
+            TraceError::InvalidMove {
+                index,
+                description,
+                error,
+            } => {
                 write!(f, "move {index} ({description}) is invalid: {error}")
             }
             TraceError::NotTerminal => write!(f, "trace ends before reaching the terminal state"),
@@ -227,9 +231,15 @@ mod tests {
         let g = chain3();
         let trace = PrbpTrace::from_moves(vec![
             PrbpMove::Load(NodeId(0)),
-            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) },
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
             PrbpMove::Delete(NodeId(0)),
-            PrbpMove::PartialCompute { from: NodeId(1), to: NodeId(2) },
+            PrbpMove::PartialCompute {
+                from: NodeId(1),
+                to: NodeId(2),
+            },
             PrbpMove::Save(NodeId(2)),
         ]);
         assert_eq!(trace.io_cost(), 2);
@@ -242,7 +252,10 @@ mod tests {
     fn traces_serialise_roundtrip() {
         let trace = PrbpTrace::from_moves(vec![
             PrbpMove::Load(NodeId(0)),
-            PrbpMove::PartialCompute { from: NodeId(0), to: NodeId(1) },
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
         ]);
         let json = serde_json::to_string(&trace).unwrap();
         let back: PrbpTrace = serde_json::from_str(&json).unwrap();
@@ -251,10 +264,8 @@ mod tests {
 
     #[test]
     fn display_lists_moves_in_order() {
-        let trace = RbpTrace::from_moves(vec![
-            RbpMove::Load(NodeId(0)),
-            RbpMove::Compute(NodeId(1)),
-        ]);
+        let trace =
+            RbpTrace::from_moves(vec![RbpMove::Load(NodeId(0)), RbpMove::Compute(NodeId(1))]);
         let text = trace.to_string();
         assert!(text.contains("0: load 0"));
         assert!(text.contains("1: compute 1"));

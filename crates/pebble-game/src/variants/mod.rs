@@ -45,9 +45,7 @@ pub struct Fig1Variant {
     pub v0: NodeId,
 }
 
-fn build_inner(
-    b: &mut DagBuilder,
-) -> (NodeId, NodeId, [NodeId; 4], NodeId, NodeId) {
+fn build_inner(b: &mut DagBuilder) -> (NodeId, NodeId, [NodeId; 4], NodeId, NodeId) {
     let u1 = b.add_labeled_node("u1");
     let u2 = b.add_labeled_node("u2");
     let w1 = b.add_labeled_node("w1");
@@ -175,8 +173,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rbp_recompute, 3);
-        let prbp = exact::optimal_prbp_cost(&v.dag, PrbpConfig::new(4), SearchConfig::default())
-            .unwrap();
+        let prbp =
+            exact::optimal_prbp_cost(&v.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap();
         assert_eq!(prbp, 2);
     }
 
@@ -192,8 +190,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rbp_sliding, 3);
-        let prbp = exact::optimal_prbp_cost(&v.dag, PrbpConfig::new(4), SearchConfig::default())
-            .unwrap();
+        let prbp =
+            exact::optimal_prbp_cost(&v.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap();
         assert_eq!(prbp, 2);
     }
 

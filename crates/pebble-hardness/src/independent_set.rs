@@ -40,7 +40,7 @@ fn best_extension(g: &UGraph, from: usize, current: &mut Vec<usize>) -> usize {
     best.max(best_extension_skip(g, from, current))
 }
 
-fn best_extension_skip(g: &UGraph, _from: usize, current: &mut Vec<usize>) -> usize {
+fn best_extension_skip(g: &UGraph, _from: usize, current: &mut [usize]) -> usize {
     // Taking no further vertex.
     let _ = g;
     current.len()

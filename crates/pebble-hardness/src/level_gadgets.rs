@@ -1,6 +1,6 @@
 //! The Theorem 7.1 level-gadget towers with auxiliary levels.
 //!
-//! The inapproximability construction of [3] builds *towers* of consecutive
+//! The inapproximability construction of \[3\] builds *towers* of consecutive
 //! *levels*; a level of size `ℓ` is a chain `u₁ → … → u_ℓ`, and consecutive
 //! levels `(u₁..u_ℓ) → (v₁..v_ℓ′)` are connected by the edges `(u_i, v_i)`
 //! for `i ≤ min(ℓ, ℓ′)` plus `(u_i, v_ℓ′)` for `ℓ′ < i ≤ ℓ`. To carry the
@@ -72,14 +72,14 @@ fn connect_levels(b: &mut DagBuilder, lower: &[NodeId], upper: &[NodeId]) {
         b.add_edge(lower[i], upper[i]);
     }
     if l > lp {
-        for i in lp..l {
-            b.add_edge(lower[i], upper[lp - 1]);
+        for &low in &lower[lp..l] {
+            b.add_edge(low, upper[lp - 1]);
         }
     }
 }
 
 /// Build a single tower from the original level sizes. With
-/// `with_aux_levels = false` the original construction of [3] is produced;
+/// `with_aux_levels = false` the original construction of \[3\] is produced;
 /// with `true` the Theorem 7.1 auxiliary levels are inserted.
 pub fn build_tower(original_sizes: &[usize], with_aux_levels: bool) -> TowerDag {
     assert!(!original_sizes.is_empty());
@@ -162,9 +162,9 @@ pub fn build_tower(original_sizes: &[usize], with_aux_levels: bool) -> TowerDag 
 mod tests {
     use super::*;
     use pebble_game::exact::{self, SearchConfig};
+    use pebble_game::prbp::PrbpConfig;
     use pebble_game::rbp::RbpConfig;
     use pebble_game::strategies::topological;
-    use pebble_game::prbp::PrbpConfig;
 
     #[test]
     fn plain_tower_shape() {

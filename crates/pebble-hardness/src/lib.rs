@@ -10,8 +10,10 @@
 //! * [`reduction48`] — the Theorem 4.8 construction reducing
 //!   `maxinset-vertex` to the question `OPT_PRBP < OPT_RBP?`.
 //! * [`level_gadgets`] — the Theorem 7.1 level-gadget towers with the
-//!   auxiliary levels that adapt the inapproximability construction of [3] to
+//!   auxiliary levels that adapt the inapproximability construction of \[3\] to
 //!   PRBP.
+
+#![deny(missing_docs)]
 
 pub mod independent_set;
 pub mod level_gadgets;

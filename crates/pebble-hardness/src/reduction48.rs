@@ -85,7 +85,12 @@ pub fn parameters(g0: &UGraph) -> Parameters {
     let budget = n0 * MERGED_SLOTS + 2 * e0 + 6 + r;
     let ell0 = 2 * (r - 2) * (budget + r);
     let ell = 2 * ell0 + n0 + slots;
-    Parameters { r, slots, ell0, ell }
+    Parameters {
+        r,
+        slots,
+        ell0,
+        ell,
+    }
 }
 
 /// Build the Theorem 4.8 instance for the `maxinset-vertex` question
@@ -117,7 +122,10 @@ pub fn build(g0: &UGraph, v0: usize) -> Reduction48 {
         for i in anchor_base..p.slots {
             slots1.push(b.add_labeled_node(format!("h1_{u}_s{i}")));
         }
-        h1.push(Gadget { slots: slots1, chain: Vec::new() });
+        h1.push(Gadget {
+            slots: slots1,
+            chain: Vec::new(),
+        });
         // H2: anchors and Z slots are fresh sources, dependency slots are
         // placeholders until the H1 chains exist.
         let mut slots2 = merged;
@@ -128,7 +136,10 @@ pub fn build(g0: &UGraph, v0: usize) -> Reduction48 {
         for i in z_base..p.slots {
             slots2.push(b.add_labeled_node(format!("h2_{u}_s{i}")));
         }
-        h2.push(Gadget { slots: slots2, chain: Vec::new() });
+        h2.push(Gadget {
+            slots: slots2,
+            chain: Vec::new(),
+        });
     }
 
     // Chains of the H1 gadgets (these exist independently of G0's edges).
@@ -148,13 +159,13 @@ pub fn build(g0: &UGraph, v0: usize) -> Reduction48 {
     // the `j`-th middle chain node of `H1(u_j)` where `u_j` ranges over
     // `u` itself followed by its neighbours in G0.
     let middle_start = p.slots + p.ell0;
-    for u in 0..n0 {
+    for (u, h2u) in h2.iter_mut().enumerate() {
         let mut deps: Vec<usize> = vec![u];
         deps.extend((0..n0).filter(|&v| v != u && g0.has_edge(u, v)));
         // Unused dependency slots (vertices of low degree) fall back to fresh
         // anchor-like sources so every slot feeds the chain.
         for j in 0..n0 {
-            h2[u].slots[dep_base + j] = match deps.get(j) {
+            h2u.slots[dep_base + j] = match deps.get(j) {
                 Some(&dep) => h1[dep].chain[middle_start + u],
                 None => b.add_labeled_node(format!("h2_{u}_extra{j}")),
             };
@@ -271,7 +282,7 @@ mod tests {
         let expected_deps = [0usize, 1, 2, 3];
         for (j, &dep) in expected_deps.iter().enumerate() {
             let slot = red.h2[0].slots[dep_base + j];
-            assert_eq!(slot, red.h1[dep].chain[p.slots + p.ell0 + 0]);
+            assert_eq!(slot, red.h1[dep].chain[p.slots + p.ell0]);
             // The slot is not a source: it has in-edges (it is a chain node).
             assert!(red.dag.in_degree(slot) >= 1);
         }

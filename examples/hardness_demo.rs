@@ -18,7 +18,10 @@ fn main() {
         g.edge_count()
     );
     let best = max_independent_set(&g);
-    println!("one maximum independent set: {best:?} (size {})", best.len());
+    println!(
+        "one maximum independent set: {best:?} (size {})",
+        best.len()
+    );
     println!();
     println!(
         "{:>3}  {:>22}  {:>22}  {:>10}  {:>6}",

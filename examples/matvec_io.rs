@@ -28,14 +28,25 @@ fn main() {
     let prbp_cost = strategies::prbp_streaming(&g)
         .validate(&g.dag, PrbpConfig::new(m + 3))
         .expect("valid PRBP pebbling");
-    println!("PRBP streaming  (r = m+3 = {:>3}): {} I/Os", m + 3, prbp_cost);
+    println!(
+        "PRBP streaming  (r = m+3 = {:>3}): {} I/Os",
+        m + 3,
+        prbp_cost
+    );
 
     // RBP: row by row, paying one extra reload per output row.
     let rbp_cost = strategies::rbp_row_by_row(&g)
         .validate(&g.dag, RbpConfig::new(2 * m))
         .expect("valid RBP pebbling");
-    println!("RBP row-by-row  (r = 2m  = {:>3}): {} I/Os", 2 * m, rbp_cost);
-    println!("RBP lower bound (Prop 4.3)      : {} I/Os", g.rbp_lower_bound());
+    println!(
+        "RBP row-by-row  (r = 2m  = {:>3}): {} I/Os",
+        2 * m,
+        rbp_cost
+    );
+    println!(
+        "RBP lower bound (Prop 4.3)      : {} I/Os",
+        g.rbp_lower_bound()
+    );
 
     println!();
     println!(

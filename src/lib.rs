@@ -25,6 +25,65 @@
 //! let prbp = exact::optimal_cost(&dag, 3, Model::Prbp).unwrap();
 //! assert!(prbp < rbp); // Proposition 4.5
 //! ```
+//!
+//! ## Exact optima vs validated strategies
+//!
+//! The Figure 1 DAG of the paper separates the two models at `r = 4`
+//! (Proposition 4.2): the exact solvers find `OPT_RBP = 3` and
+//! `OPT_PRBP = 2`, and the explicit Appendix A.1 strategies — replayed and
+//! legality-checked move by move — attain exactly those optima:
+//!
+//! ```
+//! use prbp::dag::generators::fig1_full;
+//! use prbp::game::exact::{self, SearchConfig};
+//! use prbp::game::prbp::PrbpConfig;
+//! use prbp::game::rbp::RbpConfig;
+//! use prbp::game::strategies::fig1;
+//!
+//! let f = fig1_full();
+//! let rbp_opt =
+//!     exact::optimal_rbp_cost(&f.dag, RbpConfig::new(4), SearchConfig::default()).unwrap();
+//! let prbp_opt =
+//!     exact::optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap();
+//! assert_eq!((rbp_opt, prbp_opt), (3, 2));
+//!
+//! // The Appendix A.1 strategies match the exact optima.
+//! let rbp_trace = fig1::rbp_optimal_trace(&f);
+//! assert_eq!(rbp_trace.validate(&f.dag, RbpConfig::new(4)).unwrap(), rbp_opt);
+//! let prbp_trace = fig1::prbp_optimal_trace(&f);
+//! assert_eq!(prbp_trace.validate(&f.dag, PrbpConfig::new(4)).unwrap(), prbp_opt);
+//! ```
+//!
+//! ## Closed-form costs on reduction trees
+//!
+//! On k-ary reduction trees with `r = k + 1` pebbles, the constructive
+//! strategies achieve the closed forms of Section 4.2.2 / Appendix A.2
+//! (PRBP computes the bottom `k + 1` levels for free, RBP only the bottom
+//! two, so the gap grows with the depth):
+//!
+//! ```
+//! use prbp::dag::generators::kary_tree;
+//! use prbp::game::prbp::PrbpConfig;
+//! use prbp::game::rbp::RbpConfig;
+//! use prbp::game::strategies::tree;
+//!
+//! let (k, r) = (2, 3);
+//! for depth in 1..=5 {
+//!     let t = kary_tree(k, depth);
+//!     let rbp = tree::rbp_tree(&t).validate(&t.dag, RbpConfig::new(r)).unwrap();
+//!     assert_eq!(rbp, tree::rbp_tree_cost_formula(k, depth));
+//!     let prbp = tree::prbp_tree(&t).validate(&t.dag, PrbpConfig::new(r)).unwrap();
+//!     assert_eq!(prbp, tree::prbp_tree_cost_formula(k, depth));
+//!     assert!(prbp <= rbp);
+//! }
+//! ```
+//!
+//! The stand-alone programs under `examples/` print these comparisons as
+//! tables (`cargo run --example quickstart`, `--example tree_pebbling`, ...),
+//! and the `exp_*` binaries of `pebble-experiments` reproduce the paper's
+//! figures and tables end to end.
+
+#![deny(missing_docs)]
 
 pub use pebble_bounds as bounds;
 pub use pebble_dag as dag;

@@ -11,7 +11,9 @@ use prbp::bounds::from_pebbling::{
     dominator_partition_from_prbp, edge_partition_from_prbp, hong_kung_partition,
     subsequence_lower_bound,
 };
-use prbp::dag::generators::{attention_full, fft, kary_tree, matmul, matvec, spartition_counterexample};
+use prbp::dag::generators::{
+    attention_full, fft, kary_tree, matmul, matvec, spartition_counterexample,
+};
 use prbp::game::convert::rbp_to_prbp;
 use prbp::game::prbp::PrbpConfig;
 use prbp::game::rbp::RbpConfig;
@@ -85,7 +87,10 @@ fn analytic_bounds_hold_for_the_constructive_strategies() {
 fn lemma_5_4_counterexample_end_to_end() {
     let c = spartition_counterexample(24);
     let cost = counterexample::prbp_trivial_trace(&c)
-        .validate(&c.dag, PrbpConfig::new(counterexample::COUNTEREXAMPLE_CACHE))
+        .validate(
+            &c.dag,
+            PrbpConfig::new(counterexample::COUNTEREXAMPLE_CACHE),
+        )
         .unwrap();
     assert_eq!(cost, 8);
     let p = counterexample::partition_from_pebbling(&c);

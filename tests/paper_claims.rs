@@ -13,7 +13,12 @@ use prbp::game::strategies;
 /// Proposition 4.1: OPT_PRBP ≤ OPT_RBP whenever both are defined.
 #[test]
 fn prbp_never_worse_than_rbp_on_small_dags() {
-    let dags = vec![fig1_full().dag, binary_tree(3), chained_gadgets(1).dag, zipper(3, 3).dag];
+    let dags = vec![
+        fig1_full().dag,
+        binary_tree(3),
+        chained_gadgets(1).dag,
+        zipper(3, 3).dag,
+    ];
     for dag in dags {
         let r = dag.max_in_degree() + 1;
         let rbp = exact::optimal_cost(&dag, r, Model::Rbp).unwrap();
@@ -121,10 +126,7 @@ fn one_shot_is_enforced_end_to_end() {
 #[test]
 fn search_limit_is_honoured() {
     let f = fig1_full();
-    let result = exact::optimal_prbp_cost(
-        &f.dag,
-        PrbpConfig::new(4),
-        SearchConfig::with_max_states(2),
-    );
+    let result =
+        exact::optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::with_max_states(2));
     assert!(result.is_err());
 }

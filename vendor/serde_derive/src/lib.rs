@@ -1,0 +1,448 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! The real `serde_derive` needs `syn`/`quote`, which cannot be fetched in
+//! this offline build environment, so the item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — which cover every derive
+//! site in this workspace — are non-generic structs (named, tuple and unit)
+//! and enums whose variants are unit, tuple or struct-like. Unsupported
+//! input produces a `compile_error!` rather than silently wrong code.
+//!
+//! The JSON wire format mirrors real serde's externally-tagged defaults so
+//! persisted data survives swapping in the real crates: newtype structs and
+//! newtype variants serialise transparently (`NodeId(5)` → `5`,
+//! `Load(NodeId(5))` → `{"Load":5}`), unit variants as strings, struct
+//! variants as `{"Variant":{...}}` and wider tuples as arrays.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (conversion into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+/// The shapes of fields a struct or an enum variant can carry.
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Number of positional fields.
+    Tuple(usize),
+}
+
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Which::Serialize => gen_serialize(&item),
+                Which::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl must tokenize")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skip tokens until a `,` at angle-bracket depth 0, consuming it.
+    /// Returns `false` if the cursor hit the end without finding a comma.
+    fn skip_past_toplevel_comma(&mut self) -> bool {
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct(name, parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(
+                Item::Struct(name, Fields::Tuple(count_tuple_fields(g.stream()))),
+            ),
+            _ => Ok(Item::Struct(name, Fields::Unit)),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum(name, parse_variants(g.stream())?))
+            }
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!(
+            "serde stand-in derive supports only structs and enums, found `{other}`"
+        )),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Fields, String> {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        let fname = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{fname}`, found {other:?}"
+                ))
+            }
+        }
+        names.push(fname);
+        if !c.skip_past_toplevel_comma() {
+            break;
+        }
+    }
+    Ok(Fields::Named(names))
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for t in body {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let vname = c.expect_ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((vname, fields));
+        // Skip an optional discriminant and the trailing comma.
+        if !c.skip_past_toplevel_comma() {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(names: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&{})),",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(""))
+}
+
+fn de_named_fields(path: &str, names: &[String], map_expr: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::value_get({map_expr}, {f:?})?)?,"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", fields.join(""))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct(name, fields) => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => ser_named_fields(names, |f| format!("self.{f}")),
+                // Newtype structs serialise transparently, matching real
+                // serde's externally-tagged wire format.
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", elems.join(""))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                    ),
+                    // Newtype variants carry their payload bare, like real
+                    // serde's {"Variant": value} externally-tagged format.
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(","),
+                            elems.join("")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let payload = ser_named_fields(fnames, |f| format!("(*{f})"));
+                        format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vname:?}), {payload})]),",
+                            fnames.join(",")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct(name, fields) => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(names) => {
+                    let ctor = de_named_fields(name, names, "__m");
+                    format!(
+                        "let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({ctor})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?,"))
+                        .collect();
+                    format!(
+                        "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array for struct {name}\"))?;\n\
+                         if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for struct {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        elems.join("")
+                    )
+                }
+            };
+            (name, body)
+        }
+        Item::Enum(name, variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?,"))
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => {{\n\
+                                 let __s = __payload.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array payload for {name}::{vname}\"))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong payload length for {name}::{vname}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}",
+                            elems.join("")
+                        ))
+                    }
+                    Fields::Named(fnames) => {
+                        let ctor = de_named_fields(&format!("{name}::{vname}"), fnames, "__m");
+                        Some(format!(
+                            "{vname:?} => {{\n\
+                                 let __m = __payload.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map payload for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({ctor})\n\
+                             }}"
+                        ))
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown unit variant `{{__other}}` of enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-entry map for enum {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
