@@ -8,6 +8,8 @@
 
 #![deny(missing_docs)]
 
+pub mod solver_baseline;
+
 use pebble_dag::Dag;
 use pebble_game::prbp::PrbpConfig;
 use pebble_game::rbp::RbpConfig;

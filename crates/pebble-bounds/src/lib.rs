@@ -12,6 +12,9 @@
 //!   corresponding partitions: Hong–Kung for RBP, Lemma 6.4 (edge partition)
 //!   and Lemma 6.8 (dominator partition) for PRBP, together with the
 //!   `OPT ≥ r·(MIN(2r) − 1)` bounds (Theorems 6.5 and 6.7).
+//! * [`heuristics`] — the partition bounds repackaged as admissible A*
+//!   heuristics ([`pebble_game::exact::LowerBound`]) that accelerate the
+//!   exact solvers instead of merely verifying their results.
 //! * [`counterexample`] — the Lemma 5.4 analysis showing that the classic
 //!   S-partition bound fails for PRBP.
 //! * [`analytic`] — closed-form lower bounds for FFT (Theorem 6.9), matrix
@@ -22,9 +25,11 @@
 pub mod analytic;
 pub mod counterexample;
 pub mod from_pebbling;
+pub mod heuristics;
 pub mod s_edge_partition;
 pub mod s_partition;
 pub mod terminal;
 
+pub use heuristics::{SDominatorHeuristic, SEdgeHeuristic};
 pub use s_edge_partition::SEdgePartition;
 pub use s_partition::{SDominatorPartition, SPartition};

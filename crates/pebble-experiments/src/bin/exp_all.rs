@@ -1,4 +1,13 @@
-//! Prints every experiment table in order (E1 through E15).
-fn main() {
-    pebble_experiments::run_all();
+//! Prints every experiment table in order (E1 through E15), sweeping the
+//! experiments across all cores. Exits nonzero if any experiment's
+//! validation checks failed, so CI catches a broken reproduction instead of
+//! a green run with a failure row in a table.
+fn main() -> std::process::ExitCode {
+    let failures = pebble_experiments::run_all();
+    if failures == 0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("exp_all: {failures} validation check(s) FAILED");
+        std::process::ExitCode::FAILURE
+    }
 }

@@ -1,4 +1,5 @@
 //! Prints the E12 (Theorem 6.11) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e12_attention::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e12_attention::run())
 }

@@ -1,4 +1,5 @@
 //! Prints the E8 (Lemma 5.4 / Figure 3) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e08_counterexample::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e08_counterexample::run())
 }

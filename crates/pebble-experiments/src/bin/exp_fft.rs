@@ -1,4 +1,5 @@
 //! Prints the E10 (Theorem 6.9 / Figure 4) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e10_fft::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e10_fft::run())
 }

@@ -1,4 +1,5 @@
 //! Prints the E1 (Proposition 4.2 / Figure 1) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e01_fig1::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e01_fig1::run())
 }

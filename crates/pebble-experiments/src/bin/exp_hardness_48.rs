@@ -1,4 +1,5 @@
 //! Prints the E7 (Theorem 4.8) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e07_hardness_48::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e07_hardness_48::run())
 }

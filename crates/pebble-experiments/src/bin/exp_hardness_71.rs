@@ -1,4 +1,5 @@
 //! Prints the E13 (Theorem 7.1 / Figure 5) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e13_hardness_71::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e13_hardness_71::run())
 }

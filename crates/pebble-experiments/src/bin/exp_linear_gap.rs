@@ -1,4 +1,5 @@
 //! Prints the E6 (Proposition 4.7) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e06_linear_gap::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e06_linear_gap::run())
 }

@@ -1,4 +1,5 @@
 //! Prints the E11 (Theorem 6.10) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e11_matmul::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e11_matmul::run())
 }

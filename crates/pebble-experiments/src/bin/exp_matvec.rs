@@ -1,4 +1,5 @@
 //! Prints the E2 (Proposition 4.3) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e02_matvec::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e02_matvec::run())
 }

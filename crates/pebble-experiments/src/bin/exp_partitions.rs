@@ -1,4 +1,5 @@
 //! Prints the E9 (Lemmas 6.4 and 6.8) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e09_partitions::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e09_partitions::run())
 }

@@ -1,4 +1,5 @@
 //! Prints the E4 (Proposition 4.5 / Appendix A.2) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e04_trees::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e04_trees::run())
 }

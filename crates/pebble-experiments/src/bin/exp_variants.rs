@@ -1,4 +1,5 @@
 //! Prints the E15 (Appendix B) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e15_variants::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e15_variants::run())
 }

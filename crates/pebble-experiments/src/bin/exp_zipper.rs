@@ -1,4 +1,5 @@
 //! Prints the E3 (Proposition 4.4) experiment table.
-fn main() {
-    println!("{}", pebble_experiments::e03_zipper::run());
+//! Exits nonzero if any validation check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    pebble_experiments::emit(pebble_experiments::e03_zipper::run())
 }

@@ -28,6 +28,8 @@ pub fn run() -> Table {
         "E1 (Prop 4.2, Fig 1): OPT_RBP vs OPT_PRBP on the Figure 1 DAG, r = 4",
         &["model", "exact optimum", "Appendix A.1 strategy", "paper"],
     );
+    t.check(rbp_opt == 3 && rbp_strategy == 3);
+    t.check(prbp_opt == 2 && prbp_strategy == 2);
     t.push_row([
         "RBP".into(),
         rbp_opt.to_string(),

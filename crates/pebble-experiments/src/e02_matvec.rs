@@ -31,6 +31,9 @@ pub fn run() -> Table {
         let rbp = mv_strategies::rbp_row_by_row(&g)
             .validate(&g.dag, RbpConfig::new(2 * m))
             .unwrap();
+        t.check(prbp == g.trivial_cost());
+        t.check(rbp == g.rbp_lower_bound());
+        t.check(prbp < rbp);
         t.push_row([
             m.to_string(),
             g.trivial_cost().to_string(),

@@ -32,6 +32,7 @@ pub fn run() -> Table {
         let prbp = z_strategies::prbp_zipper(&z)
             .validate(&z.dag, PrbpConfig::new(d + 2))
             .unwrap();
+        t.check(prbp < rbp);
         t.push_row([
             d.to_string(),
             len.to_string(),

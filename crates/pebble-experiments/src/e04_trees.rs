@@ -41,6 +41,9 @@ pub fn run() -> Table {
         let prbp = tree::prbp_tree(&tr)
             .validate(&tr.dag, PrbpConfig::new(k + 1))
             .unwrap();
+        t.check(rbp == tree::rbp_tree_cost_formula(k, d));
+        t.check(prbp == tree::prbp_tree_cost_formula(k, d));
+        t.check(prbp < rbp);
         t.push_row([
             k.to_string(),
             d.to_string(),

@@ -32,6 +32,8 @@ pub fn run() -> Table {
             .unwrap()
             .validate(&p.dag, PrbpConfig::new(r))
             .unwrap();
+        t.check(full == d + 1);
+        t.check(restricted >= d + 1 + collection::restricted_lower_bound(d, len));
         t.push_row([
             d.to_string(),
             len.to_string(),

@@ -31,6 +31,9 @@ pub fn run() -> Table {
         let prbp = chain_gadget::prbp_trace(&c)
             .validate(&c.dag, PrbpConfig::new(chain_gadget::CHAIN_CACHE))
             .unwrap();
+        t.check(prbp == 2);
+        t.check(rbp == 2 * copies + 2);
+        t.check(rbp >= copies + 2);
         t.push_row([
             copies.to_string(),
             c.dag.node_count().to_string(),

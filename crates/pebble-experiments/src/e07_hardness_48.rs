@@ -45,6 +45,8 @@ pub fn run() -> Table {
         let alpha = max_independent_set_size(&g);
         for v0 in 0..g.vertex_count() {
             let red = reduction48::build(&g, v0);
+            // Theorem 4.8: the reduction answers the negated oracle.
+            t.check(red.prbp_strictly_better() != maxinset_vertex(&g, v0));
             t.push_row([
                 name.to_string(),
                 v0.to_string(),

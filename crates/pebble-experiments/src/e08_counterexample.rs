@@ -36,6 +36,10 @@ pub fn run() -> Table {
         let partition = partition_from_pebbling(&c);
         let valid_full = partition.validate(&c.dag, 2 * r).is_ok();
         let valid_dom = partition.validate_dominator_only(&c.dag, 2 * r).is_ok();
+        t.check(cost == 8);
+        t.check(false_bound > cost);
+        t.check(!valid_full);
+        t.check(valid_dom);
         t.push_row([
             group_size.to_string(),
             c.dag.node_count().to_string(),

@@ -73,6 +73,8 @@ pub fn run() -> Table {
         let dp_valid = dp.validate(&dag, 2 * r).is_ok();
         let bound_ok =
             subsequence_lower_bound(r, ep.class_count()) <= cost && cost <= r * ep.class_count();
+        t.check(bound_ok);
+        t.check(ep_valid && dp_valid);
         t.push_row([
             name.to_string(),
             r.to_string(),

@@ -38,6 +38,8 @@ pub fn run() -> Table {
             .validate(&f.dag, PrbpConfig::new(r))
             .unwrap();
         let bound = fft_prbp_lower_bound(m, r);
+        t.check(cost as f64 >= bound);
+        t.check(cost as f64 <= 64.0 * bound);
         t.push_row([
             m.to_string(),
             r.to_string(),

@@ -36,6 +36,8 @@ pub fn run() -> Table {
             .validate(&g.dag, RbpConfig::new(m + 3))
             .unwrap();
         let bound = matmul_prbp_lower_bound(m, m, m, r);
+        t.check(tiled as f64 >= bound);
+        t.check(tiled < naive);
         t.push_row([
             m.to_string(),
             r.to_string(),

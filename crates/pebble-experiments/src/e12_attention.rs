@@ -38,6 +38,7 @@ pub fn run() -> Table {
             .validate(&att.dag, PrbpConfig::new(r))
             .unwrap();
         let bound = attention_prbp_lower_bound(m, d, r);
+        t.check(cost as f64 >= bound);
         t.push_row([
             m.to_string(),
             d.to_string(),

@@ -44,6 +44,11 @@ pub fn run() -> Table {
         } else {
             ("-".into(), "-".into())
         };
+        // Theorem 7.1: the auxiliary levels must not change the optimum.
+        if plain_opt != "-" && adjusted_opt != "-" {
+            t.check(plain_opt == adjusted_opt);
+        }
+        t.check(adjusted.dag.node_count() > plain.dag.node_count());
         t.push_row([
             format!("{profile:?}"),
             plain.dag.node_count().to_string(),

@@ -72,6 +72,7 @@ pub fn run() -> Table {
         let rbp_cost = rbp_trace.validate(&dag, RbpConfig::new(r)).unwrap();
         let prbp = rbp_to_prbp(&dag, &rbp_trace, r).unwrap();
         let prbp_cost = prbp.validate(&dag, PrbpConfig::new(r)).unwrap();
+        t.check(prbp_cost <= rbp_cost);
         t.push_row([
             name.to_string(),
             r.to_string(),

@@ -40,6 +40,15 @@ pub fn run() -> Table {
         let sliding =
             exact::optimal_rbp_cost(dag, RbpConfig::new(r).with_sliding(), search()).unwrap();
         let prbp = exact::optimal_prbp_cost(dag, PrbpConfig::new(r), search()).unwrap();
+        // Appendix B: recompute/sliding never hurt, PRBP stays at 2, and the
+        // adjusted DAGs restore 3 for their respective variants.
+        t.check(recompute <= one_shot && sliding <= one_shot);
+        t.check(prbp == 2);
+        match *name {
+            "Figure 1" => t.check(one_shot == 3 && recompute == 2 && sliding == 2),
+            "Figure 1 + z-layer (B.1)" => t.check(recompute == 3),
+            _ => t.check(sliding == 3),
+        };
         t.push_row([
             name.to_string(),
             one_shot.to_string(),

@@ -10,6 +10,7 @@
 
 #![deny(missing_docs)]
 
+pub mod runner;
 pub mod table;
 
 pub mod e01_fig1;
@@ -30,33 +31,69 @@ pub mod e15_variants;
 
 pub use table::Table;
 
-/// Run every experiment, printing each table (used by the `exp_all` binary).
-pub fn run_all() {
-    for table in all_tables() {
+/// An experiment entry: stable id plus the function building its table.
+pub type Experiment = (&'static str, fn() -> Table);
+
+/// Every experiment in order: id and the function building its table.
+pub const EXPERIMENTS: [Experiment; 15] = [
+    ("e01", e01_fig1::run),
+    ("e02", e02_matvec::run),
+    ("e03", e03_zipper::run),
+    ("e04", e04_trees::run),
+    ("e05", e05_collection::run),
+    ("e06", e06_linear_gap::run),
+    ("e07", e07_hardness_48::run),
+    ("e08", e08_counterexample::run),
+    ("e09", e09_partitions::run),
+    ("e10", e10_fft::run),
+    ("e11", e11_matmul::run),
+    ("e12", e12_attention::run),
+    ("e13", e13_hardness_71::run),
+    ("e14", e14_convert::run),
+    ("e15", e15_variants::run),
+];
+
+/// Run every experiment across all cores, printing each table in order
+/// (used by the `exp_all` binary). Returns the total number of failed
+/// validation checks; a nonzero result means the reproduction is broken and
+/// callers should exit nonzero.
+pub fn run_all() -> usize {
+    let mut failures = 0;
+    for table in all_tables_parallel(runner::default_threads()) {
         println!("{table}");
         println!();
+        failures += table.failures;
+    }
+    failures
+}
+
+/// Print a table and return the exit code for its `exp_*` binary: success
+/// only if every validation check registered while building it passed. The
+/// table itself goes to stdout (unchanged format); the failure summary goes
+/// to stderr.
+pub fn emit(table: Table) -> std::process::ExitCode {
+    println!("{table}");
+    if table.is_ok() {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{}: {} validation check(s) FAILED",
+            table.title, table.failures
+        );
+        std::process::ExitCode::FAILURE
     }
 }
 
-/// All experiment tables in order.
+/// All experiment tables in order, built sequentially.
 pub fn all_tables() -> Vec<Table> {
-    vec![
-        e01_fig1::run(),
-        e02_matvec::run(),
-        e03_zipper::run(),
-        e04_trees::run(),
-        e05_collection::run(),
-        e06_linear_gap::run(),
-        e07_hardness_48::run(),
-        e08_counterexample::run(),
-        e09_partitions::run(),
-        e10_fft::run(),
-        e11_matmul::run(),
-        e12_attention::run(),
-        e13_hardness_71::run(),
-        e14_convert::run(),
-        e15_variants::run(),
-    ]
+    EXPERIMENTS.iter().map(|(_, run)| run()).collect()
+}
+
+/// All experiment tables in order, built concurrently on `threads` workers.
+/// Each experiment is independent, so the sweep scales with the core count;
+/// results come back in the canonical E1..E15 order regardless.
+pub fn all_tables_parallel(threads: usize) -> Vec<Table> {
+    runner::run_parallel_with_threads(EXPERIMENTS.to_vec(), |(_, run)| run(), threads)
 }
 
 #[cfg(test)]
@@ -64,10 +101,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_experiment_produces_a_nonempty_table() {
+    fn every_experiment_produces_a_nonempty_passing_table() {
         // This is the cheap smoke test; the individual experiment modules
-        // assert their paper-specific invariants.
-        for table in all_tables() {
+        // assert their paper-specific invariants. Built in parallel, which
+        // also exercises the runner on the real workload.
+        let tables = all_tables_parallel(runner::default_threads());
+        assert_eq!(tables.len(), EXPERIMENTS.len());
+        for table in tables {
             assert!(!table.rows.is_empty(), "{} has no rows", table.title);
             assert!(!table.columns.is_empty());
             for row in &table.rows {
@@ -78,6 +118,12 @@ mod tests {
                     table.title
                 );
             }
+            assert!(
+                table.is_ok(),
+                "{}: {} validation checks failed",
+                table.title,
+                table.failures
+            );
         }
     }
 }

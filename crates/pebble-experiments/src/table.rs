@@ -2,7 +2,11 @@
 
 use std::fmt;
 
-/// A titled table of string cells.
+/// A titled table of string cells, plus a count of failed validation checks.
+///
+/// Every experiment registers the paper-claim comparisons it performs via
+/// [`Table::check`]; the `exp_*` binaries exit nonzero when any check failed,
+/// so CI catches a broken reproduction even when the table itself renders.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Table title (experiment id + paper reference).
@@ -11,6 +15,8 @@ pub struct Table {
     pub columns: Vec<String>,
     /// Rows of cells; each row has one cell per column.
     pub rows: Vec<Vec<String>>,
+    /// Number of validation checks that failed while building the table.
+    pub failures: usize,
 }
 
 impl Table {
@@ -20,7 +26,22 @@ impl Table {
             title: title.into(),
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            failures: 0,
         }
+    }
+
+    /// Record one validation check; a failed check is counted in
+    /// [`Table::failures`]. Returns `ok` so it can wrap a computed cell.
+    pub fn check(&mut self, ok: bool) -> bool {
+        if !ok {
+            self.failures += 1;
+        }
+        ok
+    }
+
+    /// Returns `true` if every registered validation check passed.
+    pub fn is_ok(&self) -> bool {
+        self.failures == 0
     }
 
     /// Append a row (must have one cell per column).
@@ -86,5 +107,16 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.push_row(["only one".to_string()]);
+    }
+
+    #[test]
+    fn checks_accumulate_failures() {
+        let mut t = Table::new("demo", &["a"]);
+        assert!(t.is_ok());
+        assert!(t.check(true));
+        assert!(!t.check(false));
+        assert!(!t.check(false));
+        assert_eq!(t.failures, 2);
+        assert!(!t.is_ok());
     }
 }

@@ -1,25 +1,38 @@
 //! Exact optimal-cost solvers for small DAGs.
 //!
-//! Both solvers run an A*-style uniform-cost search over pebbling
-//! configurations: the state of the search is the full pebble placement (plus
-//! edge markings for PRBP), transitions are the individual game moves, and
-//! the edge weights are the I/O costs (compute and delete moves are free).
-//! The heuristic counts sources that will still have to be loaded and sinks
-//! that will still have to be saved, which is admissible in both models.
+//! Both solvers run an A* search over pebbling configurations: the state of
+//! the search is the full pebble placement (plus edge markings for PRBP),
+//! transitions are the individual game moves, and the edge weights are the
+//! I/O costs (compute and delete moves are free). States are stored in a
+//! canonical packed encoding (`exact/state.rs`) and deduplicated through a
+//! transposition table, so revisiting a configuration costs one hash lookup
+//! and no fresh allocations.
+//!
+//! The heuristic is pluggable: anything implementing [`LowerBound`] — an
+//! *admissible* lower bound on the remaining I/O — can guide the search
+//! without changing the optimum it returns. [`ZeroHeuristic`] recovers plain
+//! uniform-cost (Dijkstra) search; [`LoadCountHeuristic`] (the default for
+//! the plain `optimal_*` entry points) counts mandatory future loads and
+//! saves; the partition-based bounds of the paper's Section 6 are available
+//! as heuristics from `pebble_bounds::heuristics`. The `*_with` entry points
+//! also report [`SearchStats`] — expanded/generated/distinct state counts —
+//! which benchmarks use as a hardware-independent performance metric.
 //!
 //! These searches are exponential in general (finding `OPT` is NP-hard,
 //! Theorem 7.1), so they are intended for the paper's small gadget DAGs; the
 //! [`SearchConfig::max_states`] limit guards against runaway instances.
 
+pub mod heuristic;
 mod prbp_solver;
 mod rbp_solver;
+mod state;
 
-pub use prbp_solver::{optimal_prbp_cost, optimal_prbp_trace};
-pub use rbp_solver::{optimal_rbp_cost, optimal_rbp_trace};
+pub use heuristic::{LoadCountHeuristic, LowerBound, PrbpStateView, RbpStateView, ZeroHeuristic};
 
 use crate::moves::Model;
 use crate::prbp::PrbpConfig;
 use crate::rbp::RbpConfig;
+use crate::trace::{PrbpTrace, RbpTrace};
 use pebble_dag::Dag;
 use std::fmt;
 
@@ -43,6 +56,28 @@ impl SearchConfig {
     pub fn with_max_states(max_states: usize) -> Self {
         SearchConfig { max_states }
     }
+}
+
+/// Counters describing how much work an exact search did. `expanded` is the
+/// hardware-independent metric benchmarks track: the number of states popped
+/// from the frontier and expanded into successors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// States popped from the frontier and expanded.
+    pub expanded: usize,
+    /// Successor states generated (before duplicate detection).
+    pub generated: usize,
+    /// Distinct states interned in the transposition table.
+    pub distinct: usize,
+}
+
+/// A solved instance: the optimal cost plus the search-effort counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Solved {
+    /// The optimal I/O cost.
+    pub cost: usize,
+    /// How much work the search did to prove it.
+    pub stats: SearchStats,
 }
 
 /// Why an exact search did not return an optimum.
@@ -70,6 +105,122 @@ impl fmt::Display for ExactError {
 }
 
 impl std::error::Error for ExactError {}
+
+/// Optimal I/O cost of pebbling `dag` under `config` (default heuristic).
+pub fn optimal_rbp_cost(
+    dag: &Dag,
+    config: RbpConfig,
+    search: SearchConfig,
+) -> Result<usize, ExactError> {
+    optimal_rbp_cost_with(dag, config, search, &LoadCountHeuristic).map(|s| s.cost)
+}
+
+/// Optimal I/O cost together with one optimal pebbling trace (default
+/// heuristic).
+pub fn optimal_rbp_trace(
+    dag: &Dag,
+    config: RbpConfig,
+    search: SearchConfig,
+) -> Result<(usize, RbpTrace), ExactError> {
+    optimal_rbp_trace_with(dag, config, search, &LoadCountHeuristic)
+        .map(|(s, trace)| (s.cost, trace))
+}
+
+/// Optimal RBP cost under an explicit A* heuristic, with search statistics.
+pub fn optimal_rbp_cost_with(
+    dag: &Dag,
+    config: RbpConfig,
+    search: SearchConfig,
+    heuristic: &dyn LowerBound,
+) -> Result<Solved, ExactError> {
+    rbp_solver::solve_with(dag, config, search, heuristic, false)
+        .map(|(cost, stats, _)| Solved { cost, stats })
+}
+
+/// Optimal RBP cost, statistics and one optimal trace under an explicit A*
+/// heuristic.
+pub fn optimal_rbp_trace_with(
+    dag: &Dag,
+    config: RbpConfig,
+    search: SearchConfig,
+    heuristic: &dyn LowerBound,
+) -> Result<(Solved, RbpTrace), ExactError> {
+    rbp_solver::solve_with(dag, config, search, heuristic, true).map(|(cost, stats, trace)| {
+        (
+            Solved { cost, stats },
+            trace.expect("trace requested from solver"),
+        )
+    })
+}
+
+/// Optimal I/O cost of pebbling `dag` under `config` in PRBP (default
+/// heuristic).
+pub fn optimal_prbp_cost(
+    dag: &Dag,
+    config: PrbpConfig,
+    search: SearchConfig,
+) -> Result<usize, ExactError> {
+    optimal_prbp_cost_with(dag, config, search, &LoadCountHeuristic).map(|s| s.cost)
+}
+
+/// Optimal I/O cost together with one optimal PRBP pebbling trace (default
+/// heuristic).
+pub fn optimal_prbp_trace(
+    dag: &Dag,
+    config: PrbpConfig,
+    search: SearchConfig,
+) -> Result<(usize, PrbpTrace), ExactError> {
+    optimal_prbp_trace_with(dag, config, search, &LoadCountHeuristic)
+        .map(|(s, trace)| (s.cost, trace))
+}
+
+/// Optimal PRBP cost under an explicit A* heuristic, with search statistics.
+pub fn optimal_prbp_cost_with(
+    dag: &Dag,
+    config: PrbpConfig,
+    search: SearchConfig,
+    heuristic: &dyn LowerBound,
+) -> Result<Solved, ExactError> {
+    prbp_solver::solve_with(dag, config, search, heuristic, false)
+        .map(|(cost, stats, _)| Solved { cost, stats })
+}
+
+/// Optimal PRBP cost, statistics and one optimal trace under an explicit A*
+/// heuristic.
+pub fn optimal_prbp_trace_with(
+    dag: &Dag,
+    config: PrbpConfig,
+    search: SearchConfig,
+    heuristic: &dyn LowerBound,
+) -> Result<(Solved, PrbpTrace), ExactError> {
+    prbp_solver::solve_with(dag, config, search, heuristic, true).map(|(cost, stats, trace)| {
+        (
+            Solved { cost, stats },
+            trace.expect("trace requested from solver"),
+        )
+    })
+}
+
+/// Evaluate a heuristic on the *initial* RBP state (blue pebbles on all
+/// sources, nothing in fast memory). For an admissible heuristic this is a
+/// valid lower bound on `OPT_RBP`, which makes it directly comparable to the
+/// exact optimum in tests and experiments.
+pub fn rbp_initial_bound(dag: &Dag, config: RbpConfig, heuristic: &dyn LowerBound) -> usize {
+    let words = rbp_solver::start_words(dag);
+    heuristic.rbp_bound(dag, config, &RbpStateView::new(&words, dag.node_count()))
+}
+
+/// Evaluate a heuristic on the *initial* PRBP state (blue pebbles on all
+/// sources, all edges unmarked). For an admissible heuristic this is a valid
+/// lower bound on `OPT_PRBP`.
+pub fn prbp_initial_bound(dag: &Dag, config: PrbpConfig, heuristic: &dyn LowerBound) -> usize {
+    let words = prbp_solver::start_words(dag);
+    heuristic.prbp_bound(
+        dag,
+        config,
+        &PrbpStateView::new(&words, dag.node_count(), dag.edge_count()),
+    )
+}
 
 /// Optimal I/O cost of pebbling `dag` with cache size `r` in the given model
 /// (standard one-shot rules, default search limits).
@@ -111,5 +262,49 @@ mod tests {
         assert!(ExactError::StateLimitExceeded { explored: 7 }
             .to_string()
             .contains('7'));
+    }
+
+    #[test]
+    fn with_variants_report_consistent_stats() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[1], n[2]);
+        let g = b.build().unwrap();
+        let solved = optimal_rbp_cost_with(
+            &g,
+            RbpConfig::new(3),
+            SearchConfig::default(),
+            &ZeroHeuristic,
+        )
+        .unwrap();
+        assert_eq!(solved.cost, 3);
+        assert!(solved.stats.distinct >= solved.stats.expanded);
+        assert!(solved.stats.generated >= solved.stats.expanded);
+        let (solved2, trace) = optimal_prbp_trace_with(
+            &g,
+            PrbpConfig::new(2),
+            SearchConfig::default(),
+            &LoadCountHeuristic,
+        )
+        .unwrap();
+        assert_eq!(solved2.cost, 3);
+        assert_eq!(
+            trace.validate(&g, PrbpConfig::new(2)).unwrap(),
+            solved2.cost
+        );
+    }
+
+    #[test]
+    fn initial_bounds_do_not_exceed_optima() {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[1], n[2]);
+        let g = b.build().unwrap();
+        let h = rbp_initial_bound(&g, RbpConfig::new(3), &LoadCountHeuristic);
+        assert!(h <= optimal_cost(&g, 3, Model::Rbp).unwrap());
+        let h = prbp_initial_bound(&g, PrbpConfig::new(2), &LoadCountHeuristic);
+        assert!(h <= optimal_cost(&g, 2, Model::Prbp).unwrap());
     }
 }

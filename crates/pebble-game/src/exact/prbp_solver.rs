@@ -1,46 +1,44 @@
-//! Exact optimal-cost search for the partial-computing red-blue pebble game.
+//! Exact optimal-cost A* search for the partial-computing red-blue pebble
+//! game.
+//!
+//! States are packed into two bit planes over the nodes (has-red, has-blue —
+//! together encoding the four [`crate::prbp::PebbleState`]s) plus one plane
+//! over the edges (marked), deduplicated through a transposition table. The
+//! search is A* with a pluggable admissible heuristic ([`LowerBound`]); with
+//! [`ZeroHeuristic`](super::ZeroHeuristic) it degenerates to the original
+//! uniform-cost search.
 
-use super::{ExactError, SearchConfig};
+use super::heuristic::{LowerBound, PrbpStateView};
+use super::state::{self, plane_words, Transposition};
+use super::{ExactError, SearchConfig, SearchStats};
 use crate::moves::PrbpMove;
-use crate::prbp::{PebbleState, PrbpConfig};
+use crate::prbp::PrbpConfig;
 use crate::trace::PrbpTrace;
-use pebble_dag::{BitSet, Dag, NodeId};
+use pebble_dag::{Dag, NodeId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-/// A pebbling configuration of the PRBP game: the per-node pebble state plus
-/// the set of marked edges.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct PrbpSearchState {
-    nodes: Vec<PebbleState>,
-    marked: BitSet,
+/// The packed start state: blue pebbles on all sources, all edges unmarked.
+/// Layout: `[red | blue | marked]`.
+pub(super) fn start_words(dag: &Dag) -> Vec<u64> {
+    let wn = plane_words(dag.node_count());
+    let wm = plane_words(dag.edge_count());
+    let mut words = vec![0u64; 2 * wn + wm];
+    for v in dag.nodes() {
+        if dag.is_source(v) {
+            state::set(&mut words[wn..2 * wn], v.index());
+        }
+    }
+    words
 }
 
-/// Optimal I/O cost of pebbling `dag` under `config` in PRBP.
-pub fn optimal_prbp_cost(
+pub(super) fn solve_with(
     dag: &Dag,
     config: PrbpConfig,
     search: SearchConfig,
-) -> Result<usize, ExactError> {
-    solve(dag, config, search, false).map(|(cost, _)| cost)
-}
-
-/// Optimal I/O cost together with one optimal PRBP pebbling trace.
-pub fn optimal_prbp_trace(
-    dag: &Dag,
-    config: PrbpConfig,
-    search: SearchConfig,
-) -> Result<(usize, PrbpTrace), ExactError> {
-    let (cost, trace) = solve(dag, config, search, true)?;
-    Ok((cost, trace.expect("trace requested")))
-}
-
-fn solve(
-    dag: &Dag,
-    config: PrbpConfig,
-    search: SearchConfig,
+    heuristic: &dyn LowerBound,
     want_trace: bool,
-) -> Result<(usize, Option<PrbpTrace>), ExactError> {
+) -> Result<(usize, SearchStats, Option<PrbpTrace>), ExactError> {
     // PRBP can pebble any DAG (without isolated nodes) with two red pebbles,
     // but never with fewer.
     if config.r < 2 {
@@ -49,223 +47,127 @@ fn solve(
 
     let n = dag.node_count();
     let m = dag.edge_count();
-    let sources = dag.sources();
-    let sinks = dag.sinks();
+    let wn = plane_words(n);
+    let sinks: Vec<NodeId> = dag.sinks();
 
-    let mut initial_nodes = vec![PebbleState::Empty; n];
-    for &s in &sources {
-        initial_nodes[s.index()] = PebbleState::Blue;
-    }
-    let start = PrbpSearchState {
-        nodes: initial_nodes,
-        marked: BitSet::new(m),
-    };
+    let start = start_words(dag);
+    let h = |words: &[u64]| heuristic.prbp_bound(dag, config, &PrbpStateView::new(words, n, m));
 
-    // Admissible heuristic: a source without a red pebble that still has an
-    // unmarked out-edge must be loaded again; a sink without a blue pebble
-    // must still be saved.
-    let heuristic = |st: &PrbpSearchState| -> usize {
-        let mut h = 0;
-        for &s in &sources {
-            if !st.nodes[s.index()].has_red()
-                && dag
-                    .out_edges(s)
-                    .iter()
-                    .any(|&(_, e)| !st.marked.contains(e.index()))
-            {
-                h += 1;
-            }
-        }
-        for &t in &sinks {
-            if !st.nodes[t.index()].has_blue() {
-                h += 1;
-            }
-        }
-        h
-    };
+    let mut tt: Transposition<PrbpMove> = Transposition::new(&start);
+    let mut heap: BinaryHeap<Reverse<(usize, usize, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((h(&start), 0, 0)));
 
-    let is_goal = |st: &PrbpSearchState| -> bool {
-        st.marked.count() == m && sinks.iter().all(|t| st.nodes[t.index()].has_blue())
-    };
+    let mut stats = SearchStats::default();
+    let mut scratch: Vec<u64> = vec![0; start.len()];
 
-    let mut states: Vec<PrbpSearchState> = vec![start.clone()];
-    let mut index: HashMap<PrbpSearchState, usize> = HashMap::new();
-    index.insert(start.clone(), 0);
-    let mut dist: Vec<usize> = vec![0];
-    let mut parent: Vec<Option<(usize, PrbpMove)>> = vec![None];
-
-    let mut heap: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
-    heap.push(Reverse((heuristic(&start), 0, 0)));
+    // Plane accessors over the packed layout [red | blue | marked].
+    let red = |words: &[u64], i: usize| state::get(&words[..wn], i);
+    let blue = |words: &[u64], i: usize| state::get(&words[wn..2 * wn], i);
+    let marked = |words: &[u64], i: usize| state::get(&words[2 * wn..], i);
 
     while let Some(Reverse((_, g, idx))) = heap.pop() {
-        if g > dist[idx] {
+        if g > tt.slot(idx).g {
             continue;
         }
-        let state = states[idx].clone();
-        if is_goal(&state) {
-            let trace = want_trace.then(|| reconstruct(&parent, idx));
-            return Ok((g, trace));
+        let cur = std::rc::Rc::clone(&tt.slot(idx).key);
+        if state::popcount(&cur[2 * wn..]) == m && sinks.iter().all(|t| blue(&cur, t.index())) {
+            let trace = want_trace.then(|| PrbpTrace::from_moves(tt.reconstruct_moves(idx)));
+            stats.distinct = tt.len();
+            return Ok((g, stats, trace));
         }
-        if states.len() > search.max_states {
-            return Err(ExactError::StateLimitExceeded {
-                explored: states.len(),
-            });
+        if tt.len() > search.max_states {
+            return Err(ExactError::StateLimitExceeded { explored: tt.len() });
         }
+        stats.expanded += 1;
 
-        let red_count = state.nodes.iter().filter(|s| s.has_red()).count();
-        // Per-node counts of unmarked in/out edges in this state.
+        let red_count = state::popcount(&cur[..wn]);
         let fully_computed = |v: NodeId| {
             dag.in_edges(v)
                 .iter()
-                .all(|&(_, e)| state.marked.contains(e.index()))
+                .all(|&(_, e)| marked(&cur, e.index()))
         };
         let all_out_marked = |v: NodeId| {
             dag.out_edges(v)
                 .iter()
-                .all(|&(_, e)| state.marked.contains(e.index()))
+                .all(|&(_, e)| marked(&cur, e.index()))
         };
 
-        let push_succ =
-            |succ: PrbpSearchState,
-             mv: PrbpMove,
-             cost: usize,
-             states: &mut Vec<PrbpSearchState>,
-             index: &mut HashMap<PrbpSearchState, usize>,
-             dist: &mut Vec<usize>,
-             parent: &mut Vec<Option<(usize, PrbpMove)>>,
-             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
-                let new_g = g + cost;
-                let succ_idx = match index.get(&succ) {
-                    Some(&i) => i,
-                    None => {
-                        let i = states.len();
-                        states.push(succ.clone());
-                        index.insert(succ, i);
-                        dist.push(usize::MAX);
-                        parent.push(None);
-                        i
-                    }
-                };
-                if new_g < dist[succ_idx] {
-                    dist[succ_idx] = new_g;
-                    parent[succ_idx] = Some((idx, mv));
-                    heap.push(Reverse((
-                        new_g + heuristic(&states[succ_idx]),
-                        new_g,
-                        succ_idx,
-                    )));
+        macro_rules! push_succ {
+            ($mv:expr, $cost:expr) => {{
+                stats.generated += 1;
+                let new_g = g + $cost;
+                let i = tt.intern(&scratch);
+                let slot = tt.slot_mut(i);
+                if new_g < slot.g {
+                    slot.g = new_g;
+                    slot.parent = Some((idx, $mv));
+                    heap.push(Reverse((new_g + h(&scratch), new_g, i)));
                 }
-            };
+            }};
+        }
 
         for v in dag.nodes() {
             let vi = v.index();
-            match state.nodes[vi] {
-                PebbleState::Blue => {
+            match (red(&cur, vi), blue(&cur, vi)) {
+                // Blue only.
+                (false, true) => {
                     if red_count < config.r {
-                        let mut s = state.clone();
-                        s.nodes[vi] = PebbleState::BlueAndLightRed;
-                        push_succ(
-                            s,
-                            PrbpMove::Load(v),
-                            1,
-                            &mut states,
-                            &mut index,
-                            &mut dist,
-                            &mut parent,
-                            &mut heap,
-                        );
+                        scratch.copy_from_slice(&cur);
+                        state::set(&mut scratch[..wn], vi);
+                        push_succ!(PrbpMove::Load(v), 1);
                     }
                 }
-                PebbleState::BlueAndLightRed => {
-                    let mut s = state.clone();
-                    s.nodes[vi] = PebbleState::Blue;
-                    push_succ(
-                        s,
-                        PrbpMove::Delete(v),
-                        0,
-                        &mut states,
-                        &mut index,
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
+                // Blue and light red.
+                (true, true) => {
+                    scratch.copy_from_slice(&cur);
+                    state::clear(&mut scratch[..wn], vi);
+                    push_succ!(PrbpMove::Delete(v), 0);
                 }
-                PebbleState::DarkRed => {
-                    let mut s = state.clone();
-                    s.nodes[vi] = PebbleState::BlueAndLightRed;
-                    push_succ(
-                        s,
-                        PrbpMove::Save(v),
-                        1,
-                        &mut states,
-                        &mut index,
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
+                // Dark red.
+                (true, false) => {
+                    scratch.copy_from_slice(&cur);
+                    state::set(&mut scratch[wn..2 * wn], vi);
+                    push_succ!(PrbpMove::Save(v), 1);
                     if !config.no_delete && !dag.is_sink(v) && all_out_marked(v) {
-                        let mut s = state.clone();
-                        s.nodes[vi] = PebbleState::Empty;
-                        push_succ(
-                            s,
-                            PrbpMove::Delete(v),
-                            0,
-                            &mut states,
-                            &mut index,
-                            &mut dist,
-                            &mut parent,
-                            &mut heap,
-                        );
+                        scratch.copy_from_slice(&cur);
+                        state::clear(&mut scratch[..wn], vi);
+                        push_succ!(PrbpMove::Delete(v), 0);
                     }
                 }
-                PebbleState::Empty => {}
+                // Empty.
+                (false, false) => {}
             }
         }
 
         // Partial compute steps over all unmarked edges.
         for e in dag.edges() {
-            if state.marked.contains(e.index()) {
+            if marked(&cur, e.index()) {
                 continue;
             }
             let (u, v) = dag.edge_endpoints(e);
-            if !state.nodes[u.index()].has_red() || !fully_computed(u) {
+            if !red(&cur, u.index()) || !fully_computed(u) {
                 continue;
             }
-            match state.nodes[v.index()] {
-                PebbleState::Blue => continue,
-                PebbleState::Empty if red_count >= config.r => continue,
+            match (red(&cur, v.index()), blue(&cur, v.index())) {
+                // Blue only: the partial value would be lost.
+                (false, true) => continue,
+                // Empty: needs a fresh red pebble.
+                (false, false) if red_count >= config.r => continue,
                 _ => {}
             }
-            let mut s = state.clone();
-            s.nodes[v.index()] = PebbleState::DarkRed;
-            s.marked.insert(e.index());
-            push_succ(
-                s,
-                PrbpMove::PartialCompute { from: u, to: v },
-                0,
-                &mut states,
-                &mut index,
-                &mut dist,
-                &mut parent,
-                &mut heap,
-            );
+            scratch.copy_from_slice(&cur);
+            state::set(&mut scratch[..wn], v.index());
+            state::clear(&mut scratch[wn..2 * wn], v.index());
+            state::set(&mut scratch[2 * wn..], e.index());
+            push_succ!(PrbpMove::PartialCompute { from: u, to: v }, 0);
         }
     }
     Err(ExactError::Unsolvable)
 }
 
-fn reconstruct(parent: &[Option<(usize, PrbpMove)>], mut idx: usize) -> PrbpTrace {
-    let mut moves = Vec::new();
-    while let Some((prev, mv)) = parent[idx] {
-        moves.push(mv);
-        idx = prev;
-    }
-    moves.reverse();
-    PrbpTrace::from_moves(moves)
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::{optimal_prbp_cost, optimal_prbp_trace};
     use super::*;
     use pebble_dag::generators::{fig1_full, fig1_gadget};
     use pebble_dag::DagBuilder;
@@ -368,5 +270,29 @@ mod tests {
         let result =
             optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::with_max_states(3));
         assert!(matches!(result, Err(ExactError::StateLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn stats_are_populated_and_zero_expands_more() {
+        use super::super::heuristic::{LoadCountHeuristic, ZeroHeuristic};
+        let f = fig1_full();
+        let zero = solve_with(
+            &f.dag,
+            PrbpConfig::new(4),
+            SearchConfig::default(),
+            &ZeroHeuristic,
+            false,
+        )
+        .unwrap();
+        let load = solve_with(
+            &f.dag,
+            PrbpConfig::new(4),
+            SearchConfig::default(),
+            &LoadCountHeuristic,
+            false,
+        )
+        .unwrap();
+        assert_eq!(zero.0, load.0);
+        assert!(load.1.expanded <= zero.1.expanded);
     }
 }

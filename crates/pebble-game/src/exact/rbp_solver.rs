@@ -1,46 +1,40 @@
-//! Exact optimal-cost search for the (one-shot) red-blue pebble game.
+//! Exact optimal-cost A* search for the (one-shot) red-blue pebble game.
+//!
+//! States are packed into three bit planes (red, blue, computed) over the
+//! nodes — see [`super::state`] — and deduplicated through a transposition
+//! table. The search is A* with a pluggable admissible heuristic
+//! ([`LowerBound`]); with [`ZeroHeuristic`](super::ZeroHeuristic) it
+//! degenerates to the original uniform-cost search.
 
-use super::{ExactError, SearchConfig};
+use super::heuristic::{LowerBound, RbpStateView};
+use super::state::{self, plane_words, Transposition};
+use super::{ExactError, SearchConfig, SearchStats};
 use crate::moves::RbpMove;
 use crate::rbp::RbpConfig;
 use crate::trace::RbpTrace;
-use pebble_dag::{BitSet, Dag, NodeId};
+use pebble_dag::{Dag, NodeId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-/// A pebbling configuration of the RBP game.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct RbpState {
-    red: BitSet,
-    blue: BitSet,
-    computed: BitSet,
+/// The packed start state: blue pebbles on all sources, nothing else.
+pub(super) fn start_words(dag: &Dag) -> Vec<u64> {
+    let w = plane_words(dag.node_count());
+    let mut words = vec![0u64; 3 * w];
+    for v in dag.nodes() {
+        if dag.is_source(v) {
+            state::set(&mut words[w..2 * w], v.index());
+        }
+    }
+    words
 }
 
-/// Optimal I/O cost of pebbling `dag` under `config`.
-pub fn optimal_rbp_cost(
+pub(super) fn solve_with(
     dag: &Dag,
     config: RbpConfig,
     search: SearchConfig,
-) -> Result<usize, ExactError> {
-    solve(dag, config, search, false).map(|(cost, _)| cost)
-}
-
-/// Optimal I/O cost together with one optimal pebbling trace.
-pub fn optimal_rbp_trace(
-    dag: &Dag,
-    config: RbpConfig,
-    search: SearchConfig,
-) -> Result<(usize, RbpTrace), ExactError> {
-    let (cost, trace) = solve(dag, config, search, true)?;
-    Ok((cost, trace.expect("trace requested")))
-}
-
-fn solve(
-    dag: &Dag,
-    config: RbpConfig,
-    search: SearchConfig,
+    heuristic: &dyn LowerBound,
     want_trace: bool,
-) -> Result<(usize, Option<RbpTrace>), ExactError> {
+) -> Result<(usize, SearchStats, Option<RbpTrace>), ExactError> {
     // Feasibility: computing a node of in-degree d needs d+1 simultaneous red
     // pebbles (d with sliding, which reuses one of the input slots).
     let needed = dag.max_in_degree() + usize::from(!config.allow_sliding);
@@ -49,191 +43,103 @@ fn solve(
     }
 
     let n = dag.node_count();
-    let sources: Vec<NodeId> = dag.sources();
+    let w = plane_words(n);
     let sinks: Vec<NodeId> = dag.sinks();
 
-    let mut initial_blue = BitSet::new(n);
-    for &s in &sources {
-        initial_blue.insert(s.index());
-    }
-    let start = RbpState {
-        red: BitSet::new(n),
-        blue: initial_blue,
-        computed: BitSet::new(n),
-    };
+    let start = start_words(dag);
+    let h = |words: &[u64]| heuristic.rbp_bound(dag, config, &RbpStateView::new(words, n));
 
-    // Admissible heuristic: every source whose red pebble is absent while some
-    // successor is still uncomputed needs at least one more load; every sink
-    // without a blue pebble needs at least one more save.
-    let heuristic = |st: &RbpState| -> usize {
-        let mut h = 0;
-        for &s in &sources {
-            if !st.red.contains(s.index())
-                && dag.successors(s).any(|w| !st.computed.contains(w.index()))
-            {
-                h += 1;
-            }
-        }
-        for &t in &sinks {
-            if !st.blue.contains(t.index()) {
-                h += 1;
-            }
-        }
-        h
-    };
+    let mut tt: Transposition<RbpMove> = Transposition::new(&start);
+    let mut heap: BinaryHeap<Reverse<(usize, usize, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((h(&start), 0, 0)));
 
-    let is_goal = |st: &RbpState| -> bool { sinks.iter().all(|t| st.blue.contains(t.index())) };
+    let mut stats = SearchStats::default();
+    let mut scratch: Vec<u64> = vec![0; 3 * w];
 
-    let mut states: Vec<RbpState> = vec![start.clone()];
-    let mut index: HashMap<RbpState, usize> = HashMap::new();
-    index.insert(start.clone(), 0);
-    let mut dist: Vec<usize> = vec![0];
-    let mut parent: Vec<Option<(usize, RbpMove)>> = vec![None];
-
-    let mut heap: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
-    heap.push(Reverse((heuristic(&start), 0, 0)));
+    // Plane accessors over the packed layout [red | blue | computed].
+    let red = |words: &[u64], i: usize| state::get(&words[..w], i);
+    let blue = |words: &[u64], i: usize| state::get(&words[w..2 * w], i);
+    let computed = |words: &[u64], i: usize| state::get(&words[2 * w..], i);
 
     while let Some(Reverse((_, g, idx))) = heap.pop() {
-        if g > dist[idx] {
+        if g > tt.slot(idx).g {
             continue;
         }
-        let state = states[idx].clone();
-        if is_goal(&state) {
-            let trace = want_trace.then(|| reconstruct(&parent, idx));
-            return Ok((g, trace));
+        let cur = std::rc::Rc::clone(&tt.slot(idx).key);
+        if sinks.iter().all(|t| blue(&cur, t.index())) {
+            let trace = want_trace.then(|| RbpTrace::from_moves(tt.reconstruct_moves(idx)));
+            stats.distinct = tt.len();
+            return Ok((g, stats, trace));
         }
-        if states.len() > search.max_states {
-            return Err(ExactError::StateLimitExceeded {
-                explored: states.len(),
-            });
+        if tt.len() > search.max_states {
+            return Err(ExactError::StateLimitExceeded { explored: tt.len() });
         }
+        stats.expanded += 1;
 
-        let red_count = state.red.count();
-        let push_succ =
-            |succ: RbpState,
-             mv: RbpMove,
-             cost: usize,
-             states: &mut Vec<RbpState>,
-             index: &mut HashMap<RbpState, usize>,
-             dist: &mut Vec<usize>,
-             parent: &mut Vec<Option<(usize, RbpMove)>>,
-             heap: &mut BinaryHeap<Reverse<(usize, usize, usize)>>| {
-                let new_g = g + cost;
-                let succ_idx = match index.get(&succ) {
-                    Some(&i) => i,
-                    None => {
-                        let i = states.len();
-                        states.push(succ.clone());
-                        index.insert(succ, i);
-                        dist.push(usize::MAX);
-                        parent.push(None);
-                        i
-                    }
-                };
-                if new_g < dist[succ_idx] {
-                    dist[succ_idx] = new_g;
-                    parent[succ_idx] = Some((idx, mv));
-                    heap.push(Reverse((
-                        new_g + heuristic(&states[succ_idx]),
-                        new_g,
-                        succ_idx,
-                    )));
+        let red_count = state::popcount(&cur[..w]);
+
+        macro_rules! push_succ {
+            ($mv:expr, $cost:expr) => {{
+                stats.generated += 1;
+                let new_g = g + $cost;
+                let i = tt.intern(&scratch);
+                let slot = tt.slot_mut(i);
+                if new_g < slot.g {
+                    slot.g = new_g;
+                    slot.parent = Some((idx, $mv));
+                    heap.push(Reverse((new_g + h(&scratch), new_g, i)));
                 }
-            };
+            }};
+        }
 
         for v in dag.nodes() {
             let vi = v.index();
+            let v_red = red(&cur, vi);
+            let v_blue = blue(&cur, vi);
             // Load.
-            if state.blue.contains(vi) && !state.red.contains(vi) && red_count < config.r {
-                let mut s = state.clone();
-                s.red.insert(vi);
-                push_succ(
-                    s,
-                    RbpMove::Load(v),
-                    1,
-                    &mut states,
-                    &mut index,
-                    &mut dist,
-                    &mut parent,
-                    &mut heap,
-                );
+            if v_blue && !v_red && red_count < config.r {
+                scratch.copy_from_slice(&cur);
+                state::set(&mut scratch[..w], vi);
+                push_succ!(RbpMove::Load(v), 1);
             }
             // Save.
-            if state.red.contains(vi) && !state.blue.contains(vi) {
-                let mut s = state.clone();
-                s.blue.insert(vi);
-                push_succ(
-                    s,
-                    RbpMove::Save(v),
-                    1,
-                    &mut states,
-                    &mut index,
-                    &mut dist,
-                    &mut parent,
-                    &mut heap,
-                );
+            if v_red && !v_blue {
+                scratch.copy_from_slice(&cur);
+                state::set(&mut scratch[w..2 * w], vi);
+                push_succ!(RbpMove::Save(v), 1);
             }
             // Compute (and slides).
             if !dag.is_source(v)
-                && (config.allow_recompute || !state.computed.contains(vi))
-                && dag.predecessors(v).all(|u| state.red.contains(u.index()))
+                && (config.allow_recompute || !computed(&cur, vi))
+                && dag.predecessors(v).all(|u| red(&cur, u.index()))
             {
-                if state.red.contains(vi) || red_count < config.r {
-                    let mut s = state.clone();
-                    s.red.insert(vi);
-                    s.computed.insert(vi);
-                    push_succ(
-                        s,
-                        RbpMove::Compute(v),
-                        0,
-                        &mut states,
-                        &mut index,
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
+                if v_red || red_count < config.r {
+                    scratch.copy_from_slice(&cur);
+                    state::set(&mut scratch[..w], vi);
+                    state::set(&mut scratch[2 * w..], vi);
+                    push_succ!(RbpMove::Compute(v), 0);
                 }
                 if config.allow_sliding {
                     for &(u, _) in dag.in_edges(v) {
-                        let mut s = state.clone();
-                        s.red.remove(u.index());
-                        s.red.insert(vi);
-                        s.computed.insert(vi);
-                        push_succ(
-                            s,
-                            RbpMove::ComputeSlide { node: v, from: u },
-                            0,
-                            &mut states,
-                            &mut index,
-                            &mut dist,
-                            &mut parent,
-                            &mut heap,
-                        );
+                        scratch.copy_from_slice(&cur);
+                        state::clear(&mut scratch[..w], u.index());
+                        state::set(&mut scratch[..w], vi);
+                        state::set(&mut scratch[2 * w..], vi);
+                        push_succ!(RbpMove::ComputeSlide { node: v, from: u }, 0);
                     }
                 }
             }
             // Delete. Without re-computation, deleting the only copy of a
             // value that is still needed leads to a dead state, so we prune
             // those deletions (this preserves optimality).
-            if !config.no_delete && state.red.contains(vi) {
+            if !config.no_delete && v_red {
                 let safe = config.allow_recompute
-                    || state.blue.contains(vi)
-                    || dag
-                        .successors(v)
-                        .all(|w| state.computed.contains(w.index()));
+                    || v_blue
+                    || dag.successors(v).all(|s| computed(&cur, s.index()));
                 if safe {
-                    let mut s = state.clone();
-                    s.red.remove(vi);
-                    push_succ(
-                        s,
-                        RbpMove::Delete(v),
-                        0,
-                        &mut states,
-                        &mut index,
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
+                    scratch.copy_from_slice(&cur);
+                    state::clear(&mut scratch[..w], vi);
+                    push_succ!(RbpMove::Delete(v), 0);
                 }
             }
         }
@@ -241,18 +147,9 @@ fn solve(
     Err(ExactError::Unsolvable)
 }
 
-fn reconstruct(parent: &[Option<(usize, RbpMove)>], mut idx: usize) -> RbpTrace {
-    let mut moves = Vec::new();
-    while let Some((prev, mv)) = parent[idx] {
-        moves.push(mv);
-        idx = prev;
-    }
-    moves.reverse();
-    RbpTrace::from_moves(moves)
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::{optimal_rbp_cost, optimal_rbp_trace};
     use super::*;
     use pebble_dag::generators::{binary_tree, fig1_full, pyramid};
     use pebble_dag::DagBuilder;
@@ -336,8 +233,8 @@ mod tests {
 
     #[test]
     fn binary_tree_depth2_matches_formula() {
-        // Appendix A.2 formula: OPT_RBP = 2^d + 2^(d-1)·2 - ... for depth d with r = 3
-        // the non-trivial I/O is 2^d - 2 and the trivial cost is 2^d + 1.
+        // Appendix A.2 formula: the non-trivial I/O is 2^d - 2 and the trivial
+        // cost is 2^d + 1 for depth d with r = 3.
         let d = 2;
         let g = binary_tree(d);
         let expected = (1usize << d) + 1 + ((1usize << d) - 2);
@@ -371,5 +268,31 @@ mod tests {
         let f = fig1_full();
         let result = optimal_rbp_cost(&f.dag, RbpConfig::new(4), SearchConfig::with_max_states(3));
         assert!(matches!(result, Err(ExactError::StateLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn stats_are_populated_and_zero_expands_more() {
+        use super::super::heuristic::{LoadCountHeuristic, ZeroHeuristic};
+        let f = fig1_full();
+        let zero = solve_with(
+            &f.dag,
+            RbpConfig::new(4),
+            SearchConfig::default(),
+            &ZeroHeuristic,
+            false,
+        )
+        .unwrap();
+        let load = solve_with(
+            &f.dag,
+            RbpConfig::new(4),
+            SearchConfig::default(),
+            &LoadCountHeuristic,
+            false,
+        )
+        .unwrap();
+        assert_eq!(zero.0, load.0);
+        assert!(zero.1.expanded > 0 && load.1.expanded > 0);
+        assert!(load.1.expanded <= zero.1.expanded);
+        assert!(load.1.distinct > 0);
     }
 }

@@ -1,0 +1,92 @@
+//! Pins the admissibility contract of every shipped `LowerBound`: evaluated
+//! on the *initial* state of the Figure 1, zipper, matvec and k-ary-tree
+//! instances, no heuristic may exceed the exact optimum computed by the
+//! solvers. (Admissibility must hold at *every* state; the initial state is
+//! where the bounds are largest relative to the remaining cost, and
+//! `tests/solver_equivalence.rs` covers the rest indirectly — an
+//! inadmissible interior state would change an optimum.)
+
+use pebble_bounds::{SDominatorHeuristic, SEdgeHeuristic};
+use pebble_dag::generators::{fig1_full, kary_tree, matvec, zipper};
+use pebble_dag::Dag;
+use pebble_game::exact::{self, LoadCountHeuristic, LowerBound, SearchConfig, ZeroHeuristic};
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+
+fn heuristics() -> Vec<Box<dyn LowerBound>> {
+    vec![
+        Box::new(ZeroHeuristic),
+        Box::new(LoadCountHeuristic),
+        Box::new(SEdgeHeuristic::new()),
+        Box::new(SDominatorHeuristic::new()),
+    ]
+}
+
+fn assert_admissible(name: &str, dag: &Dag, r_rbp: Option<usize>, r_prbp: usize) {
+    if let Some(r) = r_rbp {
+        let opt = exact::optimal_rbp_cost(dag, RbpConfig::new(r), SearchConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: RBP unsolvable with r={r}: {e}"));
+        for h in heuristics() {
+            let bound = exact::rbp_initial_bound(dag, RbpConfig::new(r), h.as_ref());
+            assert!(
+                bound <= opt,
+                "{name}: {} RBP bound {bound} exceeds OPT {opt} (r={r})",
+                h.name()
+            );
+        }
+    }
+    let opt = exact::optimal_prbp_cost(dag, PrbpConfig::new(r_prbp), SearchConfig::default())
+        .unwrap_or_else(|e| panic!("{name}: PRBP unsolvable with r={r_prbp}: {e}"));
+    for h in heuristics() {
+        let bound = exact::prbp_initial_bound(dag, PrbpConfig::new(r_prbp), h.as_ref());
+        assert!(
+            bound <= opt,
+            "{name}: {} PRBP bound {bound} exceeds OPT {opt} (r={r_prbp})",
+            h.name()
+        );
+    }
+}
+
+#[test]
+fn admissible_on_fig1() {
+    let f = fig1_full();
+    assert_admissible("fig1", &f.dag, Some(4), 4);
+}
+
+#[test]
+fn admissible_on_zipper() {
+    let z = zipper(2, 3);
+    assert_admissible("zipper(2,3)", &z.dag, Some(4), 4);
+    let z = zipper(3, 4);
+    assert_admissible("zipper(3,4)", &z.dag, None, 5);
+}
+
+#[test]
+fn admissible_on_matvec() {
+    let mv = matvec(2);
+    assert_admissible("matvec(2)", &mv.dag, Some(mv.dag.max_in_degree() + 1), 5);
+}
+
+#[test]
+fn admissible_on_kary_trees() {
+    let t = kary_tree(2, 2);
+    assert_admissible("kary(2,2)", &t.dag, Some(3), 3);
+    let t = kary_tree(3, 2);
+    assert_admissible("kary(3,2)", &t.dag, Some(4), 3);
+}
+
+#[test]
+fn nontrivial_bounds_actually_fire() {
+    // The admissibility tests above would pass for heuristics that always
+    // return 0; pin that the load-count family actually produces positive
+    // bounds where loads are provably required.
+    let mv = matvec(2);
+    for h in [
+        &LoadCountHeuristic as &dyn LowerBound,
+        &SEdgeHeuristic::new(),
+        &SDominatorHeuristic::new(),
+    ] {
+        let bound = exact::prbp_initial_bound(&mv.dag, PrbpConfig::new(5), h);
+        assert!(bound > 0, "{} returned 0 on matvec(2)", h.name());
+    }
+}
