@@ -93,6 +93,19 @@ fn main() -> ExitCode {
         ("full", args.reps.unwrap_or(9))
     };
 
+    // Read the gate baseline before any measurement is written (see
+    // `bench::load_baseline`).
+    let baseline: Option<SolverBaseline> = match &args.check {
+        None => None,
+        Some(check_path) => match bench::load_baseline("bench_solvers", check_path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
     eprintln!(
         "bench_solvers: sweeping {} instances x {} heuristics ({mode}, {reps} reps, {} threads)",
         solver_baseline::corpus().len(),
@@ -136,22 +149,8 @@ fn main() -> ExitCode {
         );
     }
 
-    let Some(check_path) = args.check else {
+    let (Some(baseline), Some(check_path)) = (baseline, args.check) else {
         return ExitCode::SUCCESS;
-    };
-    let baseline_text = match std::fs::read_to_string(&check_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("bench_solvers: cannot read baseline {check_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let baseline: SolverBaseline = match serde_json::from_str(&baseline_text) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("bench_solvers: cannot parse baseline {check_path}: {e:?}");
-            return ExitCode::FAILURE;
-        }
     };
     let regressions =
         solver_baseline::regressions(&baseline, &current, args.tolerance, args.time_tolerance);

@@ -8,12 +8,24 @@
 
 #![deny(missing_docs)]
 
+pub mod sched_baseline;
 pub mod solver_baseline;
 
 use pebble_dag::Dag;
 use pebble_game::prbp::PrbpConfig;
 use pebble_game::rbp::RbpConfig;
 use pebble_game::trace::{PrbpTrace, RbpTrace};
+
+/// Read and parse a committed baseline JSON document, with the tool name
+/// prefixed to any error. The baseline binaries call this *before* writing
+/// their own measurement to `--out`: with the default paths both point at
+/// the committed file, and writing first would gate the fresh run against
+/// itself while silently clobbering the baseline.
+pub fn load_baseline<T: serde::Deserialize>(tool: &str, path: &str) -> Result<T, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{tool}: cannot read baseline {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{tool}: cannot parse baseline {path}: {e:?}"))
+}
 
 /// Replay an RBP trace and return its validated cost (panics on an invalid
 /// trace — benchmarks must only measure correct pebblings).

@@ -15,6 +15,9 @@
 //! * [`traversal`] — reachability and path queries.
 //! * [`flow`] / [`dominators`] — Dinic max-flow and minimum vertex cuts, used
 //!   to compute and verify (edge-)dominator sets.
+//! * [`liveness`] — next-use / consumer-position precomputation for a compute
+//!   order, the substrate of Belady-style eviction in the heuristic
+//!   schedulers.
 //! * [`generators`] — every DAG family used in the paper: Figure 1 gadget and
 //!   its chained version, zipper gadget, binary / k-ary trees, pyramid and
 //!   pebble-collection gadgets, matrix–vector and matrix–matrix multiplication,
@@ -32,6 +35,7 @@ pub mod flow;
 pub mod generators;
 pub mod graph;
 pub mod ids;
+pub mod liveness;
 pub mod stats;
 pub mod topo;
 pub mod traversal;

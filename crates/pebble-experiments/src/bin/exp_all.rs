@@ -1,9 +1,22 @@
-//! Prints every experiment table in order (E1 through E15), sweeping the
+//! Prints every experiment table in order (E1 through E16), sweeping the
 //! experiments across all cores. Exits nonzero if any experiment's
 //! validation checks failed, so CI catches a broken reproduction instead of
 //! a green run with a failure row in a table.
+//!
+//! `--json` additionally emits one JSON array with every table after the
+//! unchanged plain-text output.
 fn main() -> std::process::ExitCode {
-    let failures = pebble_experiments::run_all();
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("exp_all: unknown flag {other} (supported: --json)");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    let failures = pebble_experiments::run_all_with(json);
     if failures == 0 {
         std::process::ExitCode::SUCCESS
     } else {

@@ -1,0 +1,21 @@
+//! Prints the E16 (heuristic scheduling) experiment table: the
+//! FFT / matmul / attention / random-layered corpus swept through the
+//! `pebble-sched` portfolio in parallel, every cost simulator-replayed and
+//! paired with its certified lower bound.
+//!
+//! `--json` additionally emits the table as one machine-readable JSON object
+//! after the unchanged plain-text table. Exits nonzero if any validation
+//! check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("exp_sched: unknown flag {other} (supported: --json)");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    pebble_experiments::emit_with(pebble_experiments::e16_sched::run(), json)
+}

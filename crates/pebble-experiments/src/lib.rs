@@ -28,6 +28,7 @@ pub mod e12_attention;
 pub mod e13_hardness_71;
 pub mod e14_convert;
 pub mod e15_variants;
+pub mod e16_sched;
 
 pub use table::Table;
 
@@ -35,7 +36,7 @@ pub use table::Table;
 pub type Experiment = (&'static str, fn() -> Table);
 
 /// Every experiment in order: id and the function building its table.
-pub const EXPERIMENTS: [Experiment; 15] = [
+pub const EXPERIMENTS: [Experiment; 16] = [
     ("e01", e01_fig1::run),
     ("e02", e02_matvec::run),
     ("e03", e03_zipper::run),
@@ -51,6 +52,7 @@ pub const EXPERIMENTS: [Experiment; 15] = [
     ("e13", e13_hardness_71::run),
     ("e14", e14_convert::run),
     ("e15", e15_variants::run),
+    ("e16", e16_sched::run),
 ];
 
 /// Run every experiment across all cores, printing each table in order
@@ -58,11 +60,23 @@ pub const EXPERIMENTS: [Experiment; 15] = [
 /// validation checks; a nonzero result means the reproduction is broken and
 /// callers should exit nonzero.
 pub fn run_all() -> usize {
+    run_all_with(false)
+}
+
+/// [`run_all`], optionally followed by one JSON array of every table (the
+/// `--json` flag of `exp_all`). The plain-text tables are unchanged either
+/// way.
+pub fn run_all_with(json: bool) -> usize {
     let mut failures = 0;
-    for table in all_tables_parallel(runner::default_threads()) {
+    let tables = all_tables_parallel(runner::default_threads());
+    for table in &tables {
         println!("{table}");
         println!();
         failures += table.failures;
+    }
+    if json {
+        let rendered: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+        println!("[{}]", rendered.join(","));
     }
     failures
 }
@@ -72,7 +86,16 @@ pub fn run_all() -> usize {
 /// table itself goes to stdout (unchanged format); the failure summary goes
 /// to stderr.
 pub fn emit(table: Table) -> std::process::ExitCode {
+    emit_with(table, false)
+}
+
+/// [`emit`], optionally followed by the table's JSON rendering (the `--json`
+/// flag of the experiment binaries). The plain-text table is unchanged.
+pub fn emit_with(table: Table, json: bool) -> std::process::ExitCode {
     println!("{table}");
+    if json {
+        println!("{}", table.to_json());
+    }
     if table.is_ok() {
         std::process::ExitCode::SUCCESS
     } else {
@@ -104,9 +127,23 @@ mod tests {
     fn every_experiment_produces_a_nonempty_passing_table() {
         // This is the cheap smoke test; the individual experiment modules
         // assert their paper-specific invariants. Built in parallel, which
-        // also exercises the runner on the real workload.
-        let tables = all_tables_parallel(runner::default_threads());
-        assert_eq!(tables.len(), EXPERIMENTS.len());
+        // also exercises the runner on the real workload. E16 sweeps the
+        // at-scale scheduling corpus (10⁴-node instances) and takes ~a
+        // minute unoptimised, so it is exercised in release builds only —
+        // CI's release `exp_all` run and this test under `--release` still
+        // cover it; its cheap invariants live in `e16_sched::tests`.
+        let experiments: Vec<Experiment> = EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|&(id, _)| !cfg!(debug_assertions) || id != "e16")
+            .collect();
+        let count = experiments.len();
+        let tables = runner::run_parallel_with_threads(
+            experiments,
+            |(_, run)| run(),
+            runner::default_threads(),
+        );
+        assert_eq!(tables.len(), count);
         for table in tables {
             assert!(!table.rows.is_empty(), "{} has no rows", table.title);
             assert!(!table.columns.is_empty());

@@ -10,9 +10,26 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use by default: the available hardware
-/// parallelism, or 1 if it cannot be determined.
+/// Parse a `PRBP_THREADS`-style override. Returns `Some(n)` for a parseable
+/// value, clamped to at least 1 worker (`"0"` means "run sequentially", not
+/// "run nothing"); `None` for an absent, empty or unparseable value, so the
+/// caller falls back to the hardware default.
+pub fn threads_from_env(value: Option<&str>) -> Option<usize> {
+    let v = value?.trim();
+    if v.is_empty() {
+        return None;
+    }
+    v.parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Number of worker threads to use by default: the `PRBP_THREADS` environment
+/// variable when set to a positive integer (so CI and benchmark runs can pin
+/// worker counts), otherwise the available hardware parallelism, or 1 if that
+/// cannot be determined.
 pub fn default_threads() -> usize {
+    if let Some(n) = threads_from_env(std::env::var("PRBP_THREADS").ok().as_deref()) {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -109,5 +126,27 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_parses_positive_integers() {
+        assert_eq!(threads_from_env(Some("4")), Some(4));
+        assert_eq!(threads_from_env(Some(" 12 ")), Some(12));
+        assert_eq!(threads_from_env(Some("1")), Some(1));
+    }
+
+    #[test]
+    fn env_override_clamps_zero_to_one() {
+        assert_eq!(threads_from_env(Some("0")), Some(1));
+    }
+
+    #[test]
+    fn env_override_rejects_garbage() {
+        assert_eq!(threads_from_env(None), None);
+        assert_eq!(threads_from_env(Some("")), None);
+        assert_eq!(threads_from_env(Some("  ")), None);
+        assert_eq!(threads_from_env(Some("lots")), None);
+        assert_eq!(threads_from_env(Some("-3")), None);
+        assert_eq!(threads_from_env(Some("3.5")), None);
     }
 }

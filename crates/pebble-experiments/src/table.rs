@@ -1,5 +1,6 @@
 //! Minimal plain-text table rendering for the experiment binaries.
 
+use serde::Serialize;
 use std::fmt;
 
 /// A titled table of string cells, plus a count of failed validation checks.
@@ -7,7 +8,7 @@ use std::fmt;
 /// Every experiment registers the paper-claim comparisons it performs via
 /// [`Table::check`]; the `exp_*` binaries exit nonzero when any check failed,
 /// so CI catches a broken reproduction even when the table itself renders.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Table {
     /// Table title (experiment id + paper reference).
     pub title: String,
@@ -54,6 +55,13 @@ impl Table {
     /// Convenience: append a row of displayable values.
     pub fn row(&mut self, cells: &[&dyn fmt::Display]) {
         self.push_row(cells.iter().map(|c| c.to_string()));
+    }
+
+    /// Machine-readable JSON rendering (`title`, `columns`, `rows`,
+    /// `failures`), emitted by the `--json` flag of the experiment binaries
+    /// alongside the unchanged plain-text tables.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("tables are plain strings and counters")
     }
 }
 
@@ -107,6 +115,18 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.push_row(["only one".to_string()]);
+    }
+
+    #[test]
+    fn to_json_is_machine_readable() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(["a".to_string(), "1".to_string()]);
+        t.check(false);
+        let json = t.to_json();
+        assert!(json.contains("\"title\":\"demo\""));
+        assert!(json.contains("\"columns\":[\"name\",\"value\"]"));
+        assert!(json.contains("\"rows\":[[\"a\",\"1\"]]"));
+        assert!(json.contains("\"failures\":1"));
     }
 
     #[test]

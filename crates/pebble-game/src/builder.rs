@@ -1,0 +1,244 @@
+//! Validated trace builders: construct a pebbling move-by-move against a live
+//! simulator.
+//!
+//! The heuristic schedulers of `pebble-sched` assemble long traces
+//! programmatically. Pushing moves through a [`RbpBuilder`] / [`PrbpBuilder`]
+//! means every move is checked by the game simulator *at construction time*
+//! (a scheduling bug fails at the offending move, with full context, instead
+//! of at a later wholesale validation), while the finished trace can still be
+//! re-validated from scratch via [`crate::RbpTrace::validate`] /
+//! [`crate::PrbpTrace::validate`] — which is what every experiment and
+//! benchmark does before reporting a cost.
+
+use crate::moves::{PrbpMove, RbpMove};
+use crate::prbp::{PrbpConfig, PrbpError, PrbpGame};
+use crate::rbp::{RbpConfig, RbpError, RbpGame};
+use crate::trace::{PrbpTrace, RbpTrace};
+use pebble_dag::{Dag, NodeId};
+
+/// Builds an [`RbpTrace`] against a live [`RbpGame`]: every pushed move is
+/// applied (and therefore validated) immediately.
+pub struct RbpBuilder<'a> {
+    game: RbpGame<'a>,
+    trace: RbpTrace,
+}
+
+impl<'a> RbpBuilder<'a> {
+    /// Start from the initial configuration of `dag` under `config`.
+    pub fn new(dag: &'a Dag, config: RbpConfig) -> Self {
+        RbpBuilder {
+            game: RbpGame::new(dag, config),
+            trace: RbpTrace::new(),
+        }
+    }
+
+    /// The live game state (read access for schedulers).
+    pub fn game(&self) -> &RbpGame<'a> {
+        &self.game
+    }
+
+    /// I/O cost of the moves pushed so far.
+    pub fn io_cost(&self) -> usize {
+        self.game.io_cost()
+    }
+
+    /// Apply `mv` to the live game and record it on success.
+    pub fn push(&mut self, mv: RbpMove) -> Result<(), RbpError> {
+        self.game.apply(mv)?;
+        self.trace.push(mv);
+        Ok(())
+    }
+
+    /// Ensure `v` holds a red pebble by loading it if necessary. Fails if `v`
+    /// has no blue pebble or the load would exceed capacity.
+    pub fn ensure_red(&mut self, v: NodeId) -> Result<(), RbpError> {
+        if !self.game.has_red(v) {
+            self.push(RbpMove::Load(v))?;
+        }
+        Ok(())
+    }
+
+    /// Evict `v`: save it first if its value would otherwise be lost while
+    /// still needed (no blue copy and some successor uncomputed), then
+    /// delete its red pebble. Returns the number of I/Os spent (0 or 1).
+    pub fn evict(&mut self, v: NodeId) -> Result<usize, RbpError> {
+        let dag = self.game.dag();
+        let needed = dag.successors(v).any(|w| !self.game.is_computed(w)) || dag.is_sink(v);
+        let mut io = 0;
+        if needed && !self.game.has_blue(v) {
+            self.push(RbpMove::Save(v))?;
+            io = 1;
+        }
+        self.push(RbpMove::Delete(v))?;
+        Ok(io)
+    }
+
+    /// Finish: returns the recorded trace (and the final game for terminal
+    /// checks at the call site).
+    pub fn finish(self) -> (RbpTrace, RbpGame<'a>) {
+        (self.trace, self.game)
+    }
+}
+
+/// Builds a [`PrbpTrace`] against a live [`PrbpGame`]: every pushed move is
+/// applied (and therefore validated) immediately.
+pub struct PrbpBuilder<'a> {
+    game: PrbpGame<'a>,
+    trace: PrbpTrace,
+}
+
+impl<'a> PrbpBuilder<'a> {
+    /// Start from the initial configuration of `dag` under `config`.
+    pub fn new(dag: &'a Dag, config: PrbpConfig) -> Self {
+        PrbpBuilder {
+            game: PrbpGame::new(dag, config),
+            trace: PrbpTrace::new(),
+        }
+    }
+
+    /// The live game state (read access for schedulers).
+    pub fn game(&self) -> &PrbpGame<'a> {
+        &self.game
+    }
+
+    /// I/O cost of the moves pushed so far.
+    pub fn io_cost(&self) -> usize {
+        self.game.io_cost()
+    }
+
+    /// Apply `mv` to the live game and record it on success.
+    pub fn push(&mut self, mv: PrbpMove) -> Result<(), PrbpError> {
+        self.game.apply(mv)?;
+        self.trace.push(mv);
+        Ok(())
+    }
+
+    /// Ensure `v` holds a red pebble by loading it if necessary. Fails if `v`
+    /// has no blue pebble or the load would exceed capacity.
+    pub fn ensure_red(&mut self, v: NodeId) -> Result<(), PrbpError> {
+        if !self.game.pebble_state(v).has_red() {
+            self.push(PrbpMove::Load(v))?;
+        }
+        Ok(())
+    }
+
+    /// Evict `v`: a light red pebble is deleted for free; a dark red pebble
+    /// is saved first when its value is still needed (unmarked out-edges, or
+    /// an unsaved sink) and deleted otherwise. Returns the I/Os spent (0 or
+    /// 1).
+    pub fn evict(&mut self, v: NodeId) -> Result<usize, PrbpError> {
+        use crate::prbp::PebbleState;
+        match self.game.pebble_state(v) {
+            PebbleState::BlueAndLightRed => {
+                self.push(PrbpMove::Delete(v))?;
+                Ok(0)
+            }
+            PebbleState::DarkRed => {
+                let dead = self.game.unmarked_out_degree(v) == 0 && !self.game.dag().is_sink(v);
+                if dead {
+                    self.push(PrbpMove::Delete(v))?;
+                    Ok(0)
+                } else {
+                    self.push(PrbpMove::Save(v))?;
+                    self.push(PrbpMove::Delete(v))?;
+                    Ok(1)
+                }
+            }
+            _ => Err(PrbpError::DeleteWithoutRed(v)),
+        }
+    }
+
+    /// Finish: returns the recorded trace (and the final game for terminal
+    /// checks at the call site).
+    pub fn finish(self) -> (PrbpTrace, PrbpGame<'a>) {
+        (self.trace, self.game)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::DagBuilder;
+
+    /// a -> b -> c chain.
+    fn chain3() -> Dag {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rbp_builder_records_validated_moves() {
+        let g = chain3();
+        let mut b = RbpBuilder::new(&g, RbpConfig::new(2));
+        b.ensure_red(NodeId(0)).unwrap();
+        b.ensure_red(NodeId(0)).unwrap(); // idempotent: no second load
+        b.push(RbpMove::Compute(NodeId(1))).unwrap();
+        assert_eq!(b.evict(NodeId(0)).unwrap(), 0); // dead, free
+        b.push(RbpMove::Compute(NodeId(2))).unwrap();
+        b.push(RbpMove::Save(NodeId(2))).unwrap();
+        let (trace, game) = b.finish();
+        assert!(game.is_terminal());
+        assert_eq!(trace.validate(&g, RbpConfig::new(2)).unwrap(), 2);
+    }
+
+    #[test]
+    fn rbp_builder_rejects_illegal_moves_without_recording() {
+        let g = chain3();
+        let mut b = RbpBuilder::new(&g, RbpConfig::new(2));
+        assert!(b.push(RbpMove::Compute(NodeId(2))).is_err());
+        assert_eq!(b.finish().0.len(), 0);
+    }
+
+    #[test]
+    fn rbp_evict_saves_live_values() {
+        let g = chain3();
+        let mut b = RbpBuilder::new(&g, RbpConfig::new(3));
+        b.ensure_red(NodeId(0)).unwrap();
+        b.push(RbpMove::Compute(NodeId(1))).unwrap();
+        // Node 1 is live (node 2 uncomputed) and has no blue copy: eviction
+        // must pay a save.
+        assert_eq!(b.evict(NodeId(1)).unwrap(), 1);
+        assert!(b.game().has_blue(NodeId(1)));
+    }
+
+    #[test]
+    fn prbp_builder_full_run() {
+        let g = chain3();
+        let mut b = PrbpBuilder::new(&g, PrbpConfig::new(2));
+        b.ensure_red(NodeId(0)).unwrap();
+        b.push(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1),
+        })
+        .unwrap();
+        assert_eq!(b.evict(NodeId(0)).unwrap(), 0); // light red: free
+        b.push(PrbpMove::PartialCompute {
+            from: NodeId(1),
+            to: NodeId(2),
+        })
+        .unwrap();
+        assert_eq!(b.evict(NodeId(1)).unwrap(), 0); // dark but dead: free
+        b.push(PrbpMove::Save(NodeId(2))).unwrap();
+        let (trace, game) = b.finish();
+        assert!(game.is_terminal());
+        assert_eq!(trace.validate(&g, PrbpConfig::new(2)).unwrap(), 2);
+    }
+
+    #[test]
+    fn prbp_evict_saves_live_dark_pebbles() {
+        let g = chain3();
+        let mut b = PrbpBuilder::new(&g, PrbpConfig::new(3));
+        b.ensure_red(NodeId(0)).unwrap();
+        b.push(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1),
+        })
+        .unwrap();
+        // Node 1 is dark red with an unmarked out-edge: save + delete.
+        assert_eq!(b.evict(NodeId(1)).unwrap(), 1);
+        assert_eq!(b.io_cost(), 2);
+    }
+}

@@ -1,5 +1,5 @@
-//! Canonical packed state encoding and the transposition table shared by the
-//! exact solvers.
+//! The transposition table of the exact solvers, keyed by the canonical
+//! packed state encoding of [`crate::packed`].
 //!
 //! A search state is a fixed number of `u64` words: bit planes over the nodes
 //! (and, for PRBP, the edges) of the DAG. Equal configurations encode to
@@ -12,38 +12,10 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-/// Words per bit plane for `n` nodes (or edges). The `.max(1)` keeps
-/// zero-element planes addressable; every writer (solver) and reader (state
-/// view) of the packed layout must agree on this width, so this is the only
-/// place it is defined.
-#[inline]
-pub(crate) fn plane_words(n: usize) -> usize {
-    n.div_ceil(64).max(1)
-}
-
-/// Test bit `i` of a packed word slice.
-#[inline]
-pub(super) fn get(words: &[u64], i: usize) -> bool {
-    words[i / 64] & (1u64 << (i % 64)) != 0
-}
-
-/// Set bit `i` of a packed word slice.
-#[inline]
-pub(super) fn set(words: &mut [u64], i: usize) {
-    words[i / 64] |= 1u64 << (i % 64);
-}
-
-/// Clear bit `i` of a packed word slice.
-#[inline]
-pub(super) fn clear(words: &mut [u64], i: usize) {
-    words[i / 64] &= !(1u64 << (i % 64));
-}
-
-/// Number of set bits in a packed word slice.
-#[inline]
-pub(super) fn popcount(words: &[u64]) -> usize {
-    words.iter().map(|w| w.count_ones() as usize).sum()
-}
+// The bit-plane primitives moved to the public `crate::packed` module so the
+// heuristic schedulers can share the encoding; the solvers keep using them
+// through this alias.
+pub(crate) use crate::packed::{clear, get, plane_words, popcount, set};
 
 /// One entry of the transposition table: the interned state, its best known
 /// distance from the start, and the parent pointer for trace reconstruction.
@@ -123,19 +95,6 @@ impl<M: Copy> Transposition<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bit_ops_roundtrip() {
-        let mut w = vec![0u64; 2];
-        assert!(!get(&w, 70));
-        set(&mut w, 70);
-        set(&mut w, 0);
-        assert!(get(&w, 70) && get(&w, 0));
-        assert_eq!(popcount(&w), 2);
-        clear(&mut w, 70);
-        assert!(!get(&w, 70));
-        assert_eq!(popcount(&w), 1);
-    }
 
     #[test]
     fn interning_detects_duplicates() {

@@ -34,19 +34,26 @@
 //!   gadgets, FFT, matmul, attention) plus generic topological strategies.
 //! * [`trace`] — recorded pebblings that can be replayed, validated, printed
 //!   and serialised.
+//! * [`builder`] — trace builders that validate every move against a live
+//!   simulator at construction time (used by the `pebble-sched` schedulers).
+//! * [`packed`] — the canonical packed bit-plane state encoding shared by the
+//!   exact solvers and the heuristic beam search.
 
 #![deny(missing_docs)]
 
+pub mod builder;
 pub mod convert;
 pub mod cost;
 pub mod exact;
 pub mod moves;
+pub mod packed;
 pub mod prbp;
 pub mod rbp;
 pub mod strategies;
 pub mod trace;
 pub mod variants;
 
+pub use builder::{PrbpBuilder, RbpBuilder};
 pub use cost::CostModel;
 pub use moves::{Model, PrbpMove, RbpMove};
 pub use prbp::{PebbleState, PrbpConfig, PrbpError, PrbpGame};

@@ -13,6 +13,17 @@ pub enum Model {
     Prbp,
 }
 
+impl Model {
+    /// Stable lowercase identifier (`"rbp"` / `"prbp"`), used in benchmark
+    /// documents and experiment tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Model::Rbp => "rbp",
+            Model::Prbp => "prbp",
+        }
+    }
+}
+
 impl fmt::Display for Model {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -196,5 +207,7 @@ mod tests {
         );
         assert_eq!(Model::Rbp.to_string(), "RBP");
         assert_eq!(Model::Prbp.to_string(), "PRBP");
+        assert_eq!(Model::Rbp.short_name(), "rbp");
+        assert_eq!(Model::Prbp.short_name(), "prbp");
     }
 }

@@ -1,0 +1,76 @@
+//! Packed bit-plane state encoding, shared by the exact solvers and the
+//! heuristic schedulers.
+//!
+//! A pebbling configuration is a fixed number of `u64` words: bit planes over
+//! the nodes (and, for PRBP, the edges) of the DAG. Equal configurations
+//! encode to identical word sequences, so a single hash-map lookup on the
+//! word slice detects duplicates — the property both the exact A* searches
+//! (`crate::exact`) and the beam scheduler (`pebble-sched`) build their
+//! transposition/dedup tables on.
+//!
+//! The canonical layouts, produced by [`crate::RbpGame::packed_words`] and
+//! [`crate::PrbpGame::packed_words`] and consumed by the solvers:
+//!
+//! * **RBP** — `[red | blue | computed]`, three node planes.
+//! * **PRBP** — `[red | blue | marked]`, two node planes (together encoding
+//!   the four [`crate::PebbleState`]s: red ⇒ light or dark, blue ⇒ slow-memory
+//!   copy) followed by one edge plane.
+
+/// Words per bit plane for `n` nodes (or edges). The `.max(1)` keeps
+/// zero-element planes addressable; every writer and reader of a packed
+/// layout must agree on this width, so this is the only place it is defined.
+#[inline]
+pub fn plane_words(n: usize) -> usize {
+    n.div_ceil(64).max(1)
+}
+
+/// Test bit `i` of a packed word slice.
+#[inline]
+pub fn get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+/// Set bit `i` of a packed word slice.
+#[inline]
+pub fn set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Clear bit `i` of a packed word slice.
+#[inline]
+pub fn clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// Number of set bits in a packed word slice.
+#[inline]
+pub fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_words_rounds_up_and_floors_at_one() {
+        assert_eq!(plane_words(0), 1);
+        assert_eq!(plane_words(1), 1);
+        assert_eq!(plane_words(64), 1);
+        assert_eq!(plane_words(65), 2);
+        assert_eq!(plane_words(640), 10);
+    }
+
+    #[test]
+    fn bit_ops_roundtrip() {
+        let mut w = vec![0u64; 2];
+        assert!(!get(&w, 70));
+        set(&mut w, 70);
+        set(&mut w, 0);
+        assert!(get(&w, 70) && get(&w, 0));
+        assert_eq!(popcount(&w), 2);
+        clear(&mut w, 70);
+        assert!(!get(&w, 70));
+        assert_eq!(popcount(&w), 1);
+    }
+}

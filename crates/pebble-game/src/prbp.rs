@@ -258,6 +258,40 @@ impl<'a> PrbpGame<'a> {
         self.unmarked_in[v.index()] == 0
     }
 
+    /// Number of still-unmarked in-edges of `v` (0 means fully computed).
+    pub fn unmarked_in_degree(&self, v: NodeId) -> usize {
+        self.unmarked_in[v.index()] as usize
+    }
+
+    /// Number of still-unmarked out-edges of `v` (0 means the value of `v` is
+    /// not needed by any future partial compute).
+    pub fn unmarked_out_degree(&self, v: NodeId) -> usize {
+        self.unmarked_out[v.index()] as usize
+    }
+
+    /// The current configuration in the canonical packed encoding
+    /// `[red | blue | marked]` of [`crate::packed`] — identical to the
+    /// encoding the exact solver uses, so equal configurations produce equal
+    /// word sequences (usable as dedup keys by heuristic searches).
+    pub fn packed_words(&self) -> Vec<u64> {
+        let n = self.dag.node_count();
+        let wn = crate::packed::plane_words(n);
+        let wm = crate::packed::plane_words(self.dag.edge_count());
+        let mut words = vec![0u64; 2 * wn + wm];
+        for (i, &st) in self.state.iter().enumerate() {
+            if st.has_red() {
+                crate::packed::set(&mut words[..wn], i);
+            }
+            if st.has_blue() {
+                crate::packed::set(&mut words[wn..2 * wn], i);
+            }
+        }
+        for e in self.marked.iter() {
+            crate::packed::set(&mut words[2 * wn..], e);
+        }
+        words
+    }
+
     /// Returns `true` in the terminal state: every sink holds a blue pebble
     /// and every edge is marked.
     pub fn is_terminal(&self) -> bool {
@@ -725,6 +759,52 @@ mod tests {
         game.apply(PrbpMove::Save(NodeId(1))).unwrap();
         game.apply(PrbpMove::Delete(NodeId(1))).unwrap();
         assert_eq!(game.pebble_state(NodeId(1)), PebbleState::Blue);
+    }
+
+    #[test]
+    fn packed_words_mirror_the_documented_plane_layout() {
+        // The contract heuristic searches rely on: `[red | blue]` node
+        // planes plus a `[marked]` edge plane, every bit agreeing with the
+        // game accessors — so equal configurations encode identically.
+        let g = chain3();
+        let mut game = PrbpGame::new(&g, PrbpConfig::new(2));
+        game.run([
+            PrbpMove::Load(NodeId(0)),
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            PrbpMove::Delete(NodeId(0)),
+        ])
+        .unwrap();
+        let words = game.packed_words();
+        let wn = crate::packed::plane_words(g.node_count());
+        let wm = crate::packed::plane_words(g.edge_count());
+        assert_eq!(words.len(), 2 * wn + wm);
+        for v in g.nodes() {
+            let i = v.index();
+            let st = game.pebble_state(v);
+            assert_eq!(crate::packed::get(&words[..wn], i), st.has_red());
+            assert_eq!(crate::packed::get(&words[wn..2 * wn], i), st.has_blue());
+        }
+        for e in g.edges() {
+            assert_eq!(
+                crate::packed::get(&words[2 * wn..], e.index()),
+                game.is_marked(e)
+            );
+        }
+        // Equal configurations produce equal words.
+        let mut twin = PrbpGame::new(&g, PrbpConfig::new(2));
+        twin.run([
+            PrbpMove::Load(NodeId(0)),
+            PrbpMove::PartialCompute {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
+            PrbpMove::Delete(NodeId(0)),
+        ])
+        .unwrap();
+        assert_eq!(twin.packed_words(), words);
     }
 
     #[test]

@@ -191,6 +191,27 @@ impl<'a> RbpGame<'a> {
         &self.blue
     }
 
+    /// The current configuration in the canonical packed encoding
+    /// `[red | blue | computed]` of [`crate::packed`] — identical to the
+    /// encoding the exact solver uses, so equal configurations produce equal
+    /// word sequences (usable as dedup keys by heuristic searches).
+    pub fn packed_words(&self) -> Vec<u64> {
+        let w = crate::packed::plane_words(self.dag.node_count());
+        let mut words = vec![0u64; 3 * w];
+        for i in 0..self.dag.node_count() {
+            if self.red.contains(i) {
+                crate::packed::set(&mut words[..w], i);
+            }
+            if self.blue.contains(i) {
+                crate::packed::set(&mut words[w..2 * w], i);
+            }
+            if self.computed.contains(i) {
+                crate::packed::set(&mut words[2 * w..], i);
+            }
+        }
+        words
+    }
+
     /// Returns `true` in the terminal state: every sink holds a blue pebble.
     pub fn is_terminal(&self) -> bool {
         self.dag
@@ -493,6 +514,39 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.0, 1);
         assert_eq!(err.1, RbpError::ComputeMissingInput(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn packed_words_mirror_the_documented_plane_layout() {
+        // The contract heuristic searches rely on: `[red | blue | computed]`
+        // planes of `plane_words(n)` words each, every bit agreeing with the
+        // game accessors — so equal configurations encode identically.
+        let g = chain3();
+        let mut game = RbpGame::new(&g, RbpConfig::new(2));
+        game.run([
+            RbpMove::Load(NodeId(0)),
+            RbpMove::Compute(NodeId(1)),
+            RbpMove::Delete(NodeId(0)),
+        ])
+        .unwrap();
+        let words = game.packed_words();
+        let w = crate::packed::plane_words(g.node_count());
+        assert_eq!(words.len(), 3 * w);
+        for v in g.nodes() {
+            let i = v.index();
+            assert_eq!(crate::packed::get(&words[..w], i), game.has_red(v));
+            assert_eq!(crate::packed::get(&words[w..2 * w], i), game.has_blue(v));
+            assert_eq!(crate::packed::get(&words[2 * w..], i), game.is_computed(v));
+        }
+        // Equal configurations produce equal words.
+        let mut twin = RbpGame::new(&g, RbpConfig::new(2));
+        twin.run([
+            RbpMove::Load(NodeId(0)),
+            RbpMove::Compute(NodeId(1)),
+            RbpMove::Delete(NodeId(0)),
+        ])
+        .unwrap();
+        assert_eq!(twin.packed_words(), words);
     }
 
     #[test]

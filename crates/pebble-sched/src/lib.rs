@@ -1,0 +1,48 @@
+//! # pebble-sched
+//!
+//! Scalable heuristic scheduling for the red-blue pebble games, with
+//! certified optimality gaps.
+//!
+//! The exact solvers of `pebble-game` prove optima on gadget-sized DAGs; this
+//! crate schedules DAGs with 10⁴–10⁵ nodes — the scale at which the paper's
+//! asymptotics (FFT `Θ(m·log m/log r)`, matmul `Θ(m₁m₂m₃/√r)`, attention
+//! `Θ(m²d²/r)`) become visible — and certifies every result:
+//!
+//! * the **upper bound** is a full move trace replayed through the game
+//!   simulators (never a formula);
+//! * the **lower bound** is the best admissible bound from `pebble-bounds`
+//!   (load-count, S-dominator, S-edge), so `cost / bound` is a proven
+//!   optimality-gap certificate ([`report::ScheduleReport`]).
+//!
+//! ## Schedulers
+//!
+//! * [`greedy`] — process the nodes in a fixed topological order
+//!   ([`order::natural`] or [`order::dfs_postorder`]), loading inputs on
+//!   demand and evicting through a pluggable [`policy::EvictionPolicy`]
+//!   (Belady / LRU / fewest-remaining-consumers). `O(n + m)` plus `O(r)` per
+//!   eviction.
+//! * [`beam`] — beam search over partial schedules, deduplicated by the
+//!   packed-state encoding shared with the exact solvers
+//!   ([`pebble_game::packed`]); width 1 is the adaptive greedy that picks the
+//!   cheapest next node online.
+//! * [`local`] — seeded local-search refinement (eviction re-decisions +
+//!   topology-preserving segment re-ordering) that only ever accepts
+//!   strictly cheaper, simulator-validated schedules.
+//! * [`suite`] — the named portfolio the experiments and benchmarks sweep.
+
+#![deny(missing_docs)]
+
+pub mod beam;
+pub mod greedy;
+pub mod local;
+pub mod order;
+pub mod policy;
+pub mod report;
+pub mod suite;
+
+pub use beam::{beam_prbp, BeamConfig};
+pub use greedy::{greedy_prbp, greedy_rbp};
+pub use local::{local_search_prbp, LocalSearchConfig};
+pub use policy::{Candidate, EvictionPolicy, FewestRemainingConsumers, FurthestInFuture, Lru};
+pub use report::{certify_prbp, certify_rbp, BoundValue, ScheduleReport};
+pub use suite::{best_prbp, default_suite, OrderKind, PolicyKind, Scheduler};

@@ -1,0 +1,93 @@
+//! Compute orders for the greedy schedulers.
+//!
+//! A greedy scheduler processes the non-source nodes of the DAG in a fixed
+//! topological order; the order determines the reuse distances the eviction
+//! policy has to work with, so it dominates the achieved I/O cost on large
+//! instances. Two generic providers live here:
+//!
+//! * [`natural`] — Kahn's algorithm with a FIFO queue (breadth-first /
+//!   layer-major). Good for shallow DAGs, poor for deep layered DAGs whose
+//!   layers exceed the cache.
+//! * [`dfs_postorder`] — memoised depth-first search from the sinks. Values
+//!   are computed as late as their first consumer allows, which keeps
+//!   producer–consumer pairs close together (the recursive-decomposition
+//!   order on divide-and-conquer DAGs such as the FFT butterfly).
+
+use pebble_dag::{topo, Dag, NodeId};
+
+/// The breadth-first (layer-major) topological order of
+/// [`pebble_dag::topo::topological_order`].
+pub fn natural(dag: &Dag) -> Vec<NodeId> {
+    topo::topological_order(dag)
+}
+
+/// Memoised depth-first postorder from the sinks (taken in increasing id
+/// order): every node appears after all of its predecessors, so the result
+/// is a valid topological order; each node appears exactly once, at the
+/// position its first-visited consumer forces it to.
+pub fn dfs_postorder(dag: &Dag) -> Vec<NodeId> {
+    let n = dag.node_count();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Iterative DFS; the stack entry tracks how many in-edges were expanded.
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for sink in dag.sinks() {
+        if visited[sink.index()] {
+            continue;
+        }
+        visited[sink.index()] = true;
+        stack.push((sink, 0));
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            let ins = dag.in_edges(v);
+            if *next < ins.len() {
+                let (u, _) = ins[*next];
+                *next += 1;
+                if !visited[u.index()] {
+                    visited[u.index()] = true;
+                    stack.push((u, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "every node reaches a sink");
+    debug_assert!(topo::is_topological_order(dag, &order));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::generators::{fft, matmul, random_layered, RandomLayeredConfig};
+    use pebble_dag::topo::is_topological_order;
+
+    #[test]
+    fn both_orders_are_topological_on_structured_dags() {
+        for dag in [
+            fft(16).dag,
+            matmul(3, 4, 5).dag,
+            random_layered(RandomLayeredConfig::default()),
+        ] {
+            let nat = natural(&dag);
+            let dfs = dfs_postorder(&dag);
+            assert_eq!(nat.len(), dag.node_count());
+            assert_eq!(dfs.len(), dag.node_count());
+            assert!(is_topological_order(&dag, &nat));
+            assert!(is_topological_order(&dag, &dfs));
+        }
+    }
+
+    #[test]
+    fn dfs_postorder_differs_from_natural_on_deep_dags() {
+        let dag = fft(16).dag;
+        assert_ne!(natural(&dag), dfs_postorder(&dag));
+    }
+
+    #[test]
+    fn dfs_postorder_is_deterministic() {
+        let dag = fft(32).dag;
+        assert_eq!(dfs_postorder(&dag), dfs_postorder(&dag));
+    }
+}

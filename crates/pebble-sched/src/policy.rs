@@ -1,0 +1,191 @@
+//! Pluggable eviction policies for the greedy schedulers.
+//!
+//! When a scheduler needs a free fast-memory slot it collects every currently
+//! evictable red pebble into a list of [`Candidate`]s and asks an
+//! [`EvictionPolicy`] to pick the victim. The policy sees, per candidate, the
+//! next position in the compute order at which the value is consumed again
+//! (Belady's clairvoyant signal, precomputed by
+//! [`pebble_dag::liveness::NextUse`]), the last step that touched it, the
+//! number of remaining consumers, and whether the eviction is free or costs a
+//! save.
+
+use pebble_dag::NodeId;
+
+/// One evictable red pebble, as presented to an [`EvictionPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The node holding the red pebble.
+    pub node: NodeId,
+    /// Position in the compute order of the next consumer of this value, or
+    /// [`pebble_dag::liveness::NEVER`] if no consumer remains.
+    pub next_use: usize,
+    /// Monotone step counter value of the last time this value was touched
+    /// (loaded, computed into, or read by a compute).
+    pub last_use: usize,
+    /// Number of remaining consumers (uncomputed successors in RBP, unmarked
+    /// out-edges in PRBP).
+    pub remaining_consumers: usize,
+    /// `true` if evicting this pebble costs no I/O (the value is dead or a
+    /// slow-memory copy already exists); `false` if a save must be paid
+    /// first.
+    pub free: bool,
+}
+
+/// How a greedy scheduler chooses which red pebble to evict.
+///
+/// # Contract
+///
+/// [`EvictionPolicy::choose`] is called with a non-empty candidate slice and
+/// must return the index of the victim within that slice. The scheduler
+/// guarantees every candidate is legally evictable at the moment of the call
+/// (pinned values — the inputs and target of the move being scheduled — are
+/// never offered). A policy never affects the *validity* of the schedule,
+/// only its cost: whatever it picks, the scheduler pays the required save and
+/// emits simulator-checked moves. Implementations must be deterministic for a
+/// given candidate slice (benchmark baselines replay schedules bit-for-bit);
+/// break ties on [`Candidate::node`].
+pub trait EvictionPolicy {
+    /// Short stable identifier used in experiment and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Index of the victim within `candidates` (non-empty).
+    fn choose(&mut self, candidates: &[Candidate]) -> usize;
+}
+
+/// Belady's rule: evict the value whose next use lies furthest in the future.
+/// Free evictions win among equals, node id breaks remaining ties.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FurthestInFuture;
+
+impl EvictionPolicy for FurthestInFuture {
+    fn name(&self) -> &'static str {
+        "belady"
+    }
+
+    fn choose(&mut self, candidates: &[Candidate]) -> usize {
+        pick(candidates, |c| {
+            (c.next_use, c.free as usize, usize::MAX - c.node.index())
+        })
+    }
+}
+
+/// Least-recently-used: evict the value untouched for the longest time. The
+/// classic online policy, here as the reference point Belady is compared
+/// against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lru;
+
+impl EvictionPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn choose(&mut self, candidates: &[Candidate]) -> usize {
+        pick(candidates, |c| {
+            (
+                usize::MAX - c.last_use,
+                c.free as usize,
+                usize::MAX - c.node.index(),
+            )
+        })
+    }
+}
+
+/// Evict the value with the fewest remaining consumers (dead values first),
+/// preferring free evictions among equals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FewestRemainingConsumers;
+
+impl EvictionPolicy for FewestRemainingConsumers {
+    fn name(&self) -> &'static str {
+        "fewest-consumers"
+    }
+
+    fn choose(&mut self, candidates: &[Candidate]) -> usize {
+        pick(candidates, |c| {
+            (
+                usize::MAX - c.remaining_consumers,
+                c.free as usize,
+                usize::MAX - c.node.index(),
+            )
+        })
+    }
+}
+
+/// Index of the candidate maximising `key` (ties resolved by the key itself;
+/// all shipped keys end in a strict node-id component).
+fn pick<K: Ord>(candidates: &[Candidate], key: impl Fn(&Candidate) -> K) -> usize {
+    debug_assert!(!candidates.is_empty());
+    let mut best = 0;
+    for i in 1..candidates.len() {
+        if key(&candidates[i]) > key(&candidates[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The shipped policies, in stable output order. Fresh boxes per call: the
+/// policies are stateless today, but the trait allows stateful ones.
+pub fn all_policies() -> Vec<Box<dyn EvictionPolicy>> {
+    vec![
+        Box::new(FurthestInFuture),
+        Box::new(Lru),
+        Box::new(FewestRemainingConsumers),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::liveness::NEVER;
+
+    fn cand(node: usize, next_use: usize, last_use: usize, rem: usize, free: bool) -> Candidate {
+        Candidate {
+            node: NodeId::from_index(node),
+            next_use,
+            last_use,
+            remaining_consumers: rem,
+            free,
+        }
+    }
+
+    #[test]
+    fn belady_picks_furthest_next_use() {
+        let cs = [cand(0, 5, 0, 1, false), cand(1, 9, 0, 1, false)];
+        assert_eq!(FurthestInFuture.choose(&cs), 1);
+        // Dead values (NEVER) beat everything.
+        let cs = [cand(0, NEVER, 0, 0, true), cand(1, 9, 0, 1, false)];
+        assert_eq!(FurthestInFuture.choose(&cs), 0);
+    }
+
+    #[test]
+    fn belady_prefers_free_on_ties_and_low_ids_last() {
+        let cs = [cand(3, 7, 0, 1, false), cand(1, 7, 0, 1, true)];
+        assert_eq!(FurthestInFuture.choose(&cs), 1);
+        let cs = [cand(3, 7, 0, 1, true), cand(1, 7, 0, 1, true)];
+        assert_eq!(
+            FurthestInFuture.choose(&cs),
+            1,
+            "smallest node id wins ties"
+        );
+    }
+
+    #[test]
+    fn lru_picks_oldest() {
+        let cs = [cand(0, 5, 10, 1, false), cand(1, 5, 3, 1, false)];
+        assert_eq!(Lru.choose(&cs), 1);
+    }
+
+    #[test]
+    fn fewest_consumers_picks_dead_first() {
+        let cs = [cand(0, 5, 0, 2, false), cand(1, 5, 0, 0, true)];
+        assert_eq!(FewestRemainingConsumers.choose(&cs), 1);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        let names: Vec<_> = all_policies().iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["belady", "lru", "fewest-consumers"]);
+    }
+}

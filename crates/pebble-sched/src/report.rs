@@ -1,0 +1,185 @@
+//! Certified schedule reports: a validated upper bound paired with the best
+//! admissible lower bound, so every heuristic result carries a proof of how
+//! far from optimal it can be.
+//!
+//! The upper bound always comes from *replaying the trace through the game
+//! simulator* — never from a formula. The lower bounds are the admissible
+//! initial-state bounds of `pebble-bounds` / `pebble-game`:
+//!
+//! * `load-count` — mandatory loads and saves
+//!   ([`pebble_game::exact::LoadCountHeuristic`]);
+//! * `s-dominator` — the dominator phase bound of Theorem 6.7
+//!   ([`pebble_bounds::SDominatorHeuristic`]);
+//! * `s-edge` — the S-edge-partition bound of Theorem 6.5
+//!   ([`pebble_bounds::SEdgeHeuristic`]).
+//!
+//! Since each bound is admissible, `cost / best_lower_bound` certifies the
+//! optimality gap: the schedule is provably within that factor of `OPT`.
+
+use pebble_bounds::{SDominatorHeuristic, SEdgeHeuristic};
+use pebble_dag::Dag;
+use pebble_game::exact::{self, LoadCountHeuristic, LowerBound};
+use pebble_game::prbp::{PrbpConfig, PrbpError};
+use pebble_game::rbp::{RbpConfig, RbpError};
+use pebble_game::trace::{PrbpTrace, RbpTrace, TraceError};
+use serde::{Deserialize, Serialize};
+
+/// One named admissible lower bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundValue {
+    /// Stable bound identifier (`load-count`, `s-dominator`, `s-edge`).
+    pub name: String,
+    /// The bound on the optimal I/O cost.
+    pub value: usize,
+}
+
+/// A certified schedule: validated cost, the lower-bound ladder, and the
+/// resulting optimality gap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// `"rbp"` or `"prbp"`.
+    pub model: String,
+    /// Cache size the schedule was validated under.
+    pub r: usize,
+    /// Scheduler identifier (e.g. `greedy:belady:natural`).
+    pub scheduler: String,
+    /// Simulator-replayed I/O cost of the trace.
+    pub cost: usize,
+    /// Number of moves in the trace.
+    pub moves: usize,
+    /// Every admissible lower bound evaluated on the initial state.
+    pub bounds: Vec<BoundValue>,
+    /// The largest of [`ScheduleReport::bounds`] (still admissible).
+    pub best_bound: usize,
+}
+
+impl ScheduleReport {
+    /// The certified optimality gap `cost / best_bound`. Always finite: every
+    /// DAG has at least one source and one sink, so the load-count bound is
+    /// at least 2.
+    pub fn gap(&self) -> f64 {
+        self.cost as f64 / self.best_bound as f64
+    }
+}
+
+/// Validate `trace` on `dag` under RBP with cache `r` and pair the replayed
+/// cost with the admissible lower bounds.
+pub fn certify_rbp(
+    dag: &Dag,
+    r: usize,
+    trace: &RbpTrace,
+    scheduler: impl Into<String>,
+) -> Result<ScheduleReport, TraceError<RbpError>> {
+    let config = RbpConfig::new(r);
+    let cost = trace.validate(dag, config)?;
+    let bounds: Vec<BoundValue> = [
+        &LoadCountHeuristic as &dyn LowerBound,
+        &SDominatorHeuristic::new(),
+        &SEdgeHeuristic::new(),
+    ]
+    .into_iter()
+    .map(|h| BoundValue {
+        name: h.name().to_string(),
+        value: exact::rbp_initial_bound(dag, config, h),
+    })
+    .collect();
+    let best_bound = bounds.iter().map(|b| b.value).max().unwrap_or(0).max(1);
+    Ok(ScheduleReport {
+        model: "rbp".to_string(),
+        r,
+        scheduler: scheduler.into(),
+        cost,
+        moves: trace.len(),
+        bounds,
+        best_bound,
+    })
+}
+
+/// Validate `trace` on `dag` under PRBP with cache `r` and pair the replayed
+/// cost with the admissible lower bounds.
+pub fn certify_prbp(
+    dag: &Dag,
+    r: usize,
+    trace: &PrbpTrace,
+    scheduler: impl Into<String>,
+) -> Result<ScheduleReport, TraceError<PrbpError>> {
+    let config = PrbpConfig::new(r);
+    let cost = trace.validate(dag, config)?;
+    let bounds: Vec<BoundValue> = [
+        &LoadCountHeuristic as &dyn LowerBound,
+        &SDominatorHeuristic::new(),
+        &SEdgeHeuristic::new(),
+    ]
+    .into_iter()
+    .map(|h| BoundValue {
+        name: h.name().to_string(),
+        value: exact::prbp_initial_bound(dag, config, h),
+    })
+    .collect();
+    let best_bound = bounds.iter().map(|b| b.value).max().unwrap_or(0).max(1);
+    Ok(ScheduleReport {
+        model: "prbp".to_string(),
+        r,
+        scheduler: scheduler.into(),
+        cost,
+        moves: trace.len(),
+        bounds,
+        best_bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::{beam_prbp, BeamConfig};
+    use crate::greedy::greedy_rbp;
+    use crate::order;
+    use crate::policy::FurthestInFuture;
+    use pebble_dag::generators::{fft, fig1_full};
+    use pebble_game::exact::SearchConfig;
+
+    #[test]
+    fn prbp_report_brackets_the_exact_optimum() {
+        let dag = fig1_full().dag;
+        let r = 4;
+        let trace = beam_prbp(&dag, r, BeamConfig::default()).unwrap();
+        let report = certify_prbp(&dag, r, &trace, "beam:8").unwrap();
+        let opt =
+            exact::optimal_prbp_cost(&dag, PrbpConfig::new(r), SearchConfig::default()).unwrap();
+        assert!(report.best_bound <= opt, "lower bound must be admissible");
+        assert!(report.cost >= opt, "no heuristic beats the optimum");
+        assert!(report.gap() >= 1.0);
+        assert_eq!(report.model, "prbp");
+        assert_eq!(report.bounds.len(), 3);
+    }
+
+    #[test]
+    fn rbp_report_brackets_the_exact_optimum() {
+        let dag = fig1_full().dag;
+        let r = 4;
+        let ord = order::natural(&dag);
+        let trace = greedy_rbp(&dag, r, &ord, &mut FurthestInFuture).unwrap();
+        let report = certify_rbp(&dag, r, &trace, "greedy:belady:natural").unwrap();
+        let opt =
+            exact::optimal_rbp_cost(&dag, RbpConfig::new(r), SearchConfig::default()).unwrap();
+        assert!(report.best_bound <= opt);
+        assert!(report.cost >= opt);
+    }
+
+    #[test]
+    fn invalid_traces_are_rejected() {
+        let dag = fig1_full().dag;
+        let empty = PrbpTrace::new();
+        assert!(certify_prbp(&dag, 4, &empty, "noop").is_err());
+    }
+
+    #[test]
+    fn report_serialises() {
+        let dag = fft(8).dag;
+        let trace = beam_prbp(&dag, 4, BeamConfig::adaptive()).unwrap();
+        let report = certify_prbp(&dag, 4, &trace, "beam:1").unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ScheduleReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,268 @@
+//! The named scheduler portfolio swept by experiments and benchmarks.
+//!
+//! Each [`Scheduler`] value is a fully-determined configuration with a stable
+//! display name, so experiment tables and the committed benchmark baseline
+//! can refer to schedulers by string and replay them bit-for-bit.
+
+use crate::beam::{beam_prbp, BeamConfig};
+use crate::greedy::{greedy_prbp, greedy_rbp};
+use crate::local::{local_search_prbp, LocalSearchConfig};
+use crate::order;
+use crate::policy::{EvictionPolicy, FewestRemainingConsumers, FurthestInFuture, Lru};
+use pebble_dag::{Dag, NodeId};
+use pebble_game::strategies::topological;
+use pebble_game::trace::{PrbpTrace, RbpTrace};
+use std::fmt;
+
+/// Eviction policy selector (the shipped [`crate::policy`] implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Belady / furthest-in-future.
+    Belady,
+    /// Least-recently-used.
+    Lru,
+    /// Fewest remaining consumers.
+    FewestConsumers,
+}
+
+impl PolicyKind {
+    fn build(self) -> Box<dyn EvictionPolicy> {
+        match self {
+            PolicyKind::Belady => Box::new(FurthestInFuture),
+            PolicyKind::Lru => Box::new(Lru),
+            PolicyKind::FewestConsumers => Box::new(FewestRemainingConsumers),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Belady => "belady",
+            PolicyKind::Lru => "lru",
+            PolicyKind::FewestConsumers => "fewest",
+        }
+    }
+}
+
+/// Compute-order selector for the greedy schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderKind {
+    /// Layer-major (Kahn FIFO) order.
+    Natural,
+    /// Memoised DFS postorder from the sinks.
+    DfsPostorder,
+}
+
+impl OrderKind {
+    fn build(self, dag: &Dag) -> Vec<NodeId> {
+        match self {
+            OrderKind::Natural => order::natural(dag),
+            OrderKind::DfsPostorder => order::dfs_postorder(dag),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            OrderKind::Natural => "natural",
+            OrderKind::DfsPostorder => "dfs",
+        }
+    }
+}
+
+/// A fully-determined scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// The generic topological strategies of `pebble-game` — the portfolio's
+    /// fallback floor, kept so "best of suite" can never lose to the
+    /// pre-existing baseline.
+    Baseline,
+    /// Order-driven greedy with a pluggable policy.
+    Greedy {
+        /// Eviction policy.
+        policy: PolicyKind,
+        /// Compute order.
+        order: OrderKind,
+    },
+    /// Beam search over partial schedules (width 1 = adaptive greedy).
+    Beam {
+        /// Beam width.
+        width: usize,
+        /// Candidates proposed per entry per level.
+        branch: usize,
+    },
+    /// Local-search refinement (policy re-decision + segment re-ordering)
+    /// starting from the natural order.
+    Local {
+        /// Segment-move proposals.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Scheduler::Baseline => write!(f, "baseline"),
+            Scheduler::Greedy { policy, order } => {
+                write!(f, "greedy:{}:{}", policy.name(), order.name())
+            }
+            Scheduler::Beam { width, .. } => write!(f, "beam:{width}"),
+            Scheduler::Local { iterations } => write!(f, "local:{iterations}"),
+        }
+    }
+}
+
+impl Scheduler {
+    /// Run this scheduler in PRBP. `None` when the configuration cannot
+    /// schedule the instance (`r` too small).
+    pub fn run_prbp(self, dag: &Dag, r: usize) -> Option<PrbpTrace> {
+        match self {
+            Scheduler::Baseline => topological::prbp_topological(dag, r),
+            Scheduler::Greedy { policy, order } => {
+                let ord = order.build(dag);
+                greedy_prbp(dag, r, &ord, policy.build().as_mut())
+            }
+            Scheduler::Beam { width, branch } => beam_prbp(dag, r, BeamConfig { width, branch }),
+            Scheduler::Local { iterations } => local_search_prbp(
+                dag,
+                r,
+                None,
+                LocalSearchConfig {
+                    iterations,
+                    ..Default::default()
+                },
+            )
+            .map(|(trace, _)| trace),
+        }
+    }
+
+    /// Run this scheduler in RBP. Beam and local search are PRBP-only and
+    /// return `None`; the others return `None` when `r < Δ_in + 1`.
+    pub fn run_rbp(self, dag: &Dag, r: usize) -> Option<RbpTrace> {
+        match self {
+            Scheduler::Baseline => topological::rbp_topological(dag, r),
+            Scheduler::Greedy { policy, order } => {
+                let ord = order.build(dag);
+                greedy_rbp(dag, r, &ord, policy.build().as_mut())
+            }
+            Scheduler::Beam { .. } | Scheduler::Local { .. } => None,
+        }
+    }
+}
+
+/// The default portfolio, cheap enough to sweep on every instance: the
+/// baseline floor, every eviction policy on the natural order, Belady on the
+/// DFS order, and the adaptive (width-1) beam.
+pub fn default_suite() -> Vec<Scheduler> {
+    vec![
+        Scheduler::Baseline,
+        Scheduler::Greedy {
+            policy: PolicyKind::Belady,
+            order: OrderKind::Natural,
+        },
+        Scheduler::Greedy {
+            policy: PolicyKind::Lru,
+            order: OrderKind::Natural,
+        },
+        Scheduler::Greedy {
+            policy: PolicyKind::FewestConsumers,
+            order: OrderKind::Natural,
+        },
+        Scheduler::Greedy {
+            policy: PolicyKind::Belady,
+            order: OrderKind::DfsPostorder,
+        },
+        Scheduler::Beam {
+            width: 1,
+            branch: 1,
+        },
+    ]
+}
+
+/// Run every scheduler of `suite` in PRBP and return the cheapest result as
+/// `(scheduler, trace, validated cost)`. Costs come from a full simulator
+/// re-validation of each trace, not from the builders' counters.
+pub fn best_prbp(
+    dag: &Dag,
+    r: usize,
+    suite: &[Scheduler],
+) -> Option<(Scheduler, PrbpTrace, usize)> {
+    let mut best: Option<(Scheduler, PrbpTrace, usize)> = None;
+    for &s in suite {
+        let Some(trace) = s.run_prbp(dag, r) else {
+            continue;
+        };
+        let cost = trace
+            .validate(dag, pebble_game::prbp::PrbpConfig::new(r))
+            .expect("schedulers emit valid traces");
+        if best.as_ref().map_or(true, |&(_, _, c)| cost < c) {
+            best = Some((s, trace, cost));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::generators::{fft, fig1_full};
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Scheduler::Baseline.to_string(), "baseline");
+        assert_eq!(
+            Scheduler::Greedy {
+                policy: PolicyKind::Belady,
+                order: OrderKind::Natural
+            }
+            .to_string(),
+            "greedy:belady:natural"
+        );
+        assert_eq!(
+            Scheduler::Beam {
+                width: 8,
+                branch: 4
+            }
+            .to_string(),
+            "beam:8"
+        );
+        assert_eq!(
+            Scheduler::Local { iterations: 200 }.to_string(),
+            "local:200"
+        );
+    }
+
+    #[test]
+    fn best_of_suite_never_loses_to_baseline() {
+        for dag in [fig1_full().dag, fft(16).dag] {
+            for r in [2usize, 4, 8] {
+                let (_, _, best) = best_prbp(&dag, r, &default_suite()).unwrap();
+                let base = Scheduler::Baseline
+                    .run_prbp(&dag, r)
+                    .unwrap()
+                    .validate(&dag, pebble_game::prbp::PrbpConfig::new(r))
+                    .unwrap();
+                assert!(best <= base, "best {best} > baseline {base}");
+            }
+        }
+    }
+
+    #[test]
+    fn rbp_suite_respects_capacity() {
+        let dag = fig1_full().dag;
+        assert!(Scheduler::Baseline.run_rbp(&dag, 2).is_none());
+        assert!(Scheduler::Beam {
+            width: 4,
+            branch: 4
+        }
+        .run_rbp(&dag, 8)
+        .is_none());
+        let t = Scheduler::Greedy {
+            policy: PolicyKind::Lru,
+            order: OrderKind::Natural,
+        }
+        .run_rbp(&dag, 4)
+        .unwrap();
+        assert!(t
+            .validate(&dag, pebble_game::rbp::RbpConfig::new(4))
+            .is_ok());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based coverage for the heuristic schedulers.
+//!
+//! Over randomly generated layered DAGs, every scheduler in the portfolio
+//! must (a) emit a trace that replays through the game simulator, (b) cost at
+//! least every admissible lower bound, and (c) — as a portfolio — never lose
+//! to the generic `strategies::topological` baseline. On instances small
+//! enough for the exact A* solvers, the portfolio stays within a fixed
+//! factor of the true optimum.
+
+use pebble_dag::generators::{random_layered, RandomLayeredConfig};
+use pebble_dag::Dag;
+use pebble_game::exact::{self, SearchConfig};
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::strategies::topological;
+use pebble_sched::{
+    best_prbp, certify_prbp, certify_rbp, default_suite, OrderKind, PolicyKind, Scheduler,
+};
+use proptest::prelude::*;
+
+fn dag_strategy() -> impl Strategy<Value = (Dag, usize)> {
+    (2usize..5, 2usize..6, 1usize..4, any::<u64>()).prop_map(|(layers, width, deg, seed)| {
+        let dag = random_layered(RandomLayeredConfig {
+            layers,
+            width,
+            max_in_degree: deg,
+            seed,
+        });
+        let r = dag.max_in_degree() + 2;
+        (dag, r)
+    })
+}
+
+/// The suite the properties quantify over: the default portfolio plus the
+/// heavier members exercised at small scale.
+fn full_suite() -> Vec<Scheduler> {
+    let mut suite = default_suite();
+    suite.push(Scheduler::Beam {
+        width: 8,
+        branch: 4,
+    });
+    suite.push(Scheduler::Local { iterations: 30 });
+    suite
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_prbp_scheduler_validates_and_respects_all_bounds((dag, r) in dag_strategy()) {
+        for s in full_suite() {
+            let Some(trace) = s.run_prbp(&dag, r) else { continue };
+            // `certify_prbp` replays the trace through the simulator and
+            // evaluates every admissible bound; an invalid trace errors here.
+            let report = certify_prbp(&dag, r, &trace, s.to_string()).expect("valid trace");
+            for bound in &report.bounds {
+                prop_assert!(
+                    report.cost >= bound.value,
+                    "{}: cost {} below admissible bound {} = {}",
+                    s, report.cost, bound.name, bound.value
+                );
+            }
+            prop_assert!(report.cost >= dag.trivial_cost());
+        }
+    }
+
+    #[test]
+    fn every_rbp_scheduler_validates_and_respects_all_bounds((dag, r) in dag_strategy()) {
+        for s in full_suite() {
+            let Some(trace) = s.run_rbp(&dag, r) else { continue };
+            let report = certify_rbp(&dag, r, &trace, s.to_string()).expect("valid trace");
+            for bound in &report.bounds {
+                prop_assert!(report.cost >= bound.value);
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_the_topological_baseline((dag, r) in dag_strategy()) {
+        let (_, _, best) = best_prbp(&dag, r, &full_suite()).expect("r >= 2");
+        let base = topological::prbp_topological(&dag, r)
+            .expect("r >= 2")
+            .validate(&dag, PrbpConfig::new(r))
+            .expect("valid baseline");
+        prop_assert!(best <= base, "portfolio best {best} worse than baseline {base}");
+
+        let rbp_best = full_suite()
+            .into_iter()
+            .filter_map(|s| s.run_rbp(&dag, r))
+            .map(|t| t.validate(&dag, RbpConfig::new(r)).expect("valid trace"))
+            .min()
+            .expect("greedy RBP applies");
+        let rbp_base = topological::rbp_topological(&dag, r)
+            .expect("r >= Δin + 1")
+            .validate(&dag, RbpConfig::new(r))
+            .expect("valid baseline");
+        prop_assert!(rbp_best <= rbp_base);
+    }
+}
+
+/// On exact-solver-sized instances the portfolio stays within a fixed factor
+/// of the proven optimum. Fixed seeds: this pins concrete quality, not a
+/// theorem, and must not flake.
+#[test]
+fn portfolio_is_near_optimal_where_the_exact_solver_can_check() {
+    const FACTOR: usize = 2;
+    for seed in [1u64, 7, 23, 99] {
+        let dag = random_layered(RandomLayeredConfig {
+            layers: 3,
+            width: 3,
+            max_in_degree: 2,
+            seed,
+        });
+        let r = 3;
+        let opt = exact::optimal_prbp_cost(&dag, PrbpConfig::new(r), SearchConfig::default())
+            .expect("solvable");
+        let (s, _, best) = best_prbp(&dag, r, &full_suite()).expect("schedulable");
+        assert!(
+            best <= FACTOR * opt,
+            "seed {seed}: best {best} ({s}) exceeds {FACTOR}x optimum {opt}"
+        );
+        assert!(best >= opt);
+    }
+}
+
+/// The greedy schedulers handle every policy/order combination at the PRBP
+/// capacity floor (`r = 2`), where eviction pressure is maximal.
+#[test]
+fn greedy_grid_is_exhaustive_at_minimum_cache() {
+    let dag = random_layered(RandomLayeredConfig {
+        layers: 4,
+        width: 4,
+        max_in_degree: 3,
+        seed: 5,
+    });
+    for policy in [
+        PolicyKind::Belady,
+        PolicyKind::Lru,
+        PolicyKind::FewestConsumers,
+    ] {
+        for order in [OrderKind::Natural, OrderKind::DfsPostorder] {
+            let s = Scheduler::Greedy { policy, order };
+            let trace = s.run_prbp(&dag, 2).expect("r = 2 suffices for PRBP");
+            assert!(trace.validate(&dag, PrbpConfig::new(2)).is_ok(), "{s}");
+        }
+    }
+}

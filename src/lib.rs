@@ -12,6 +12,10 @@
 //!   trace-to-partition conversions and the analytic I/O lower bounds.
 //! * [`hardness`] — the NP-hardness reduction constructions of Theorems 4.8
 //!   and 7.1 together with brute-force independent-set oracles.
+//! * [`sched`] — scalable heuristic schedulers (greedy with pluggable
+//!   eviction policies, packed-state beam search, local-search refinement)
+//!   that pebble DAGs far beyond exact reach and certify an optimality gap
+//!   against the admissible lower bounds.
 //!
 //! ## Quickstart
 //!
@@ -89,3 +93,4 @@ pub use pebble_bounds as bounds;
 pub use pebble_dag as dag;
 pub use pebble_game as game;
 pub use pebble_hardness as hardness;
+pub use pebble_sched as sched;
