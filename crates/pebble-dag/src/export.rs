@@ -1,6 +1,29 @@
-//! DOT / JSON export of DAGs for inspection and debugging.
+//! DOT / JSON / edge-list export of DAGs for inspection, debugging and
+//! interchange.
+//!
+//! [`to_json`] uses the serde representation of [`Dag`] (an internal schema);
+//! the *interchange* formats meant for DAGs produced by other tools —
+//! whitespace edge-list, a DOT digraph subset, and a JSON node/edge document
+//! — live in the `pebble-io` crate, whose parsers are guaranteed to
+//! round-trip [`to_edge_list`] and (structurally) [`to_dot`] output.
 
 use crate::graph::Dag;
+
+/// Escape a string for a double-quoted DOT attribute value. Shared with the
+/// `pebble-io` DOT writer, so the two emitters can never diverge on what the
+/// round-tripping parser has to undo.
+pub fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
 
 /// Render the DAG in Graphviz DOT format. Node labels (when non-empty) are
 /// shown next to the node id; sources are drawn as boxes, sinks as double
@@ -14,7 +37,7 @@ pub fn to_dot(dag: &Dag, graph_name: &str) -> String {
         let display = if label.is_empty() {
             format!("{}", v.0)
         } else {
-            format!("{} ({})", v.0, label)
+            format!("{} ({})", v.0, dot_escape(label))
         };
         let shape = if dag.is_source(v) {
             "box"
@@ -33,6 +56,20 @@ pub fn to_dot(dag: &Dag, graph_name: &str) -> String {
         out.push_str(&format!("  n{} -> n{};\n", u.0, v.0));
     }
     out.push_str("}\n");
+    out
+}
+
+/// Render the DAG as a whitespace edge-list: one `u v` line per edge, in
+/// [`crate::EdgeId`] order. Node labels are not representable in this format.
+/// Because a [`Dag`] has no isolated nodes, the node count is recoverable as
+/// `max id + 1`, so parsing the output reproduces the graph exactly.
+pub fn to_edge_list(dag: &Dag) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for e in dag.edges() {
+        let (u, v) = dag.edge_endpoints(e);
+        let _ = writeln!(out, "{} {}", u.0, v.0);
+    }
     out
 }
 
@@ -71,6 +108,12 @@ mod tests {
         assert!(dot.contains("n0 -> n1;"));
         assert!(dot.contains("n1 -> n2;"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_list_lists_edges_in_id_order() {
+        let g = sample();
+        assert_eq!(to_edge_list(&g), "0 1\n1 2\n");
     }
 
     #[test]

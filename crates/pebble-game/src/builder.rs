@@ -9,26 +9,43 @@
 //! re-validated from scratch via [`crate::RbpTrace::validate`] /
 //! [`crate::PrbpTrace::validate`] — which is what every experiment and
 //! benchmark does before reporting a cost.
+//!
+//! Both builders are generic over a [`MoveSink`]: by default every validated
+//! move is collected into a trace, but a streaming consumer (a counting sink,
+//! an independent replay certifier, a file writer) can be substituted via
+//! [`RbpBuilder::with_sink`] / [`PrbpBuilder::with_sink`] so that arbitrarily
+//! long pebblings never materialise a move vector.
 
 use crate::moves::{PrbpMove, RbpMove};
 use crate::prbp::{PrbpConfig, PrbpError, PrbpGame};
 use crate::rbp::{RbpConfig, RbpError, RbpGame};
+use crate::sink::MoveSink;
 use crate::trace::{PrbpTrace, RbpTrace};
 use pebble_dag::{Dag, NodeId};
 
-/// Builds an [`RbpTrace`] against a live [`RbpGame`]: every pushed move is
-/// applied (and therefore validated) immediately.
-pub struct RbpBuilder<'a> {
+/// Builds an [`RbpTrace`] (or feeds any other [`MoveSink`]) against a live
+/// [`RbpGame`]: every pushed move is applied (and therefore validated)
+/// immediately, then forwarded to the sink.
+pub struct RbpBuilder<'a, S: MoveSink<RbpMove> = RbpTrace> {
     game: RbpGame<'a>,
-    trace: RbpTrace,
+    sink: S,
 }
 
 impl<'a> RbpBuilder<'a> {
-    /// Start from the initial configuration of `dag` under `config`.
+    /// Start from the initial configuration of `dag` under `config`,
+    /// collecting the moves into an [`RbpTrace`].
     pub fn new(dag: &'a Dag, config: RbpConfig) -> Self {
+        Self::with_sink(dag, config, RbpTrace::new())
+    }
+}
+
+impl<'a, S: MoveSink<RbpMove>> RbpBuilder<'a, S> {
+    /// Start from the initial configuration of `dag` under `config`, sending
+    /// every validated move to `sink` instead of materialising a trace.
+    pub fn with_sink(dag: &'a Dag, config: RbpConfig, sink: S) -> Self {
         RbpBuilder {
             game: RbpGame::new(dag, config),
-            trace: RbpTrace::new(),
+            sink,
         }
     }
 
@@ -42,10 +59,10 @@ impl<'a> RbpBuilder<'a> {
         self.game.io_cost()
     }
 
-    /// Apply `mv` to the live game and record it on success.
+    /// Apply `mv` to the live game and forward it to the sink on success.
     pub fn push(&mut self, mv: RbpMove) -> Result<(), RbpError> {
         self.game.apply(mv)?;
-        self.trace.push(mv);
+        self.sink.record(mv);
         Ok(())
     }
 
@@ -73,26 +90,36 @@ impl<'a> RbpBuilder<'a> {
         Ok(io)
     }
 
-    /// Finish: returns the recorded trace (and the final game for terminal
-    /// checks at the call site).
-    pub fn finish(self) -> (RbpTrace, RbpGame<'a>) {
-        (self.trace, self.game)
+    /// Finish: returns the sink (the recorded trace, by default) and the
+    /// final game for terminal checks at the call site.
+    pub fn finish(self) -> (S, RbpGame<'a>) {
+        (self.sink, self.game)
     }
 }
 
-/// Builds a [`PrbpTrace`] against a live [`PrbpGame`]: every pushed move is
-/// applied (and therefore validated) immediately.
-pub struct PrbpBuilder<'a> {
+/// Builds a [`PrbpTrace`] (or feeds any other [`MoveSink`]) against a live
+/// [`PrbpGame`]: every pushed move is applied (and therefore validated)
+/// immediately, then forwarded to the sink.
+pub struct PrbpBuilder<'a, S: MoveSink<PrbpMove> = PrbpTrace> {
     game: PrbpGame<'a>,
-    trace: PrbpTrace,
+    sink: S,
 }
 
 impl<'a> PrbpBuilder<'a> {
-    /// Start from the initial configuration of `dag` under `config`.
+    /// Start from the initial configuration of `dag` under `config`,
+    /// collecting the moves into a [`PrbpTrace`].
     pub fn new(dag: &'a Dag, config: PrbpConfig) -> Self {
+        Self::with_sink(dag, config, PrbpTrace::new())
+    }
+}
+
+impl<'a, S: MoveSink<PrbpMove>> PrbpBuilder<'a, S> {
+    /// Start from the initial configuration of `dag` under `config`, sending
+    /// every validated move to `sink` instead of materialising a trace.
+    pub fn with_sink(dag: &'a Dag, config: PrbpConfig, sink: S) -> Self {
         PrbpBuilder {
             game: PrbpGame::new(dag, config),
-            trace: PrbpTrace::new(),
+            sink,
         }
     }
 
@@ -106,10 +133,10 @@ impl<'a> PrbpBuilder<'a> {
         self.game.io_cost()
     }
 
-    /// Apply `mv` to the live game and record it on success.
+    /// Apply `mv` to the live game and forward it to the sink on success.
     pub fn push(&mut self, mv: PrbpMove) -> Result<(), PrbpError> {
         self.game.apply(mv)?;
-        self.trace.push(mv);
+        self.sink.record(mv);
         Ok(())
     }
 
@@ -148,10 +175,10 @@ impl<'a> PrbpBuilder<'a> {
         }
     }
 
-    /// Finish: returns the recorded trace (and the final game for terminal
-    /// checks at the call site).
-    pub fn finish(self) -> (PrbpTrace, PrbpGame<'a>) {
-        (self.trace, self.game)
+    /// Finish: returns the sink (the recorded trace, by default) and the
+    /// final game for terminal checks at the call site.
+    pub fn finish(self) -> (S, PrbpGame<'a>) {
+        (self.sink, self.game)
     }
 }
 
@@ -225,6 +252,31 @@ mod tests {
         let (trace, game) = b.finish();
         assert!(game.is_terminal());
         assert_eq!(trace.validate(&g, PrbpConfig::new(2)).unwrap(), 2);
+    }
+
+    #[test]
+    fn prbp_builder_streams_into_a_counting_sink() {
+        use crate::sink::CountingSink;
+        let g = chain3();
+        let mut b = PrbpBuilder::with_sink(&g, PrbpConfig::new(2), CountingSink::new());
+        b.ensure_red(NodeId(0)).unwrap();
+        b.push(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1),
+        })
+        .unwrap();
+        b.evict(NodeId(0)).unwrap();
+        b.push(PrbpMove::PartialCompute {
+            from: NodeId(1),
+            to: NodeId(2),
+        })
+        .unwrap();
+        b.push(PrbpMove::Save(NodeId(2))).unwrap();
+        let (sink, game) = b.finish();
+        assert!(game.is_terminal());
+        // The sink saw every validated move, but no trace was materialised.
+        assert_eq!(sink.moves, 5);
+        assert_eq!(sink.io, game.io_cost());
     }
 
     #[test]

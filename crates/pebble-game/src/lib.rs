@@ -36,6 +36,9 @@
 //!   and serialised.
 //! * [`builder`] — trace builders that validate every move against a live
 //!   simulator at construction time (used by the `pebble-sched` schedulers).
+//! * [`sink`] — the [`sink::MoveSink`] visitor trait fed by the builders, so
+//!   long pebblings can be counted, validated or written out without ever
+//!   materialising a move vector.
 //! * [`packed`] — the canonical packed bit-plane state encoding shared by the
 //!   exact solvers and the heuristic beam search.
 
@@ -49,6 +52,7 @@ pub mod moves;
 pub mod packed;
 pub mod prbp;
 pub mod rbp;
+pub mod sink;
 pub mod strategies;
 pub mod trace;
 pub mod variants;
@@ -58,4 +62,5 @@ pub use cost::CostModel;
 pub use moves::{Model, PrbpMove, RbpMove};
 pub use prbp::{PebbleState, PrbpConfig, PrbpError, PrbpGame};
 pub use rbp::{RbpConfig, RbpError, RbpGame};
-pub use trace::{PrbpTrace, RbpTrace};
+pub use sink::{CountingSink, DiscardSink, MoveSink};
+pub use trace::{validate_prbp_moves, validate_rbp_moves, PrbpTrace, RbpTrace};

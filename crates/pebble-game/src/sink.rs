@@ -1,0 +1,112 @@
+//! Move sinks: the visitor side of the streaming trace pipeline.
+//!
+//! The trace builders ([`crate::RbpBuilder`] / [`crate::PrbpBuilder`]) and the
+//! greedy executors of `pebble-sched` historically accumulated every emitted
+//! move into a `Vec` ([`RbpTrace`] / [`PrbpTrace`]). On million-node DAGs that
+//! vector dwarfs the DAG itself, so the emitting side is now generic over a
+//! [`MoveSink`]: each validated move is *visited* exactly once, in execution
+//! order, and the sink decides whether to store it ([`RbpTrace`] and
+//! [`PrbpTrace`] are themselves sinks), count it ([`CountingSink`]), replay it
+//! into an independent simulator (`pebble-sched`'s streaming certifiers), or
+//! drop it ([`DiscardSink`]).
+//!
+//! Nothing in the contract lets a sink reject a move — validation stays with
+//! the emitter (the builders apply every move to a live game before
+//! forwarding it). A sink that needs to detect errors on its own replay keeps
+//! the failure internally and reports it when the stream ends.
+
+use crate::moves::{PrbpMove, RbpMove};
+use crate::trace::{PrbpTrace, RbpTrace};
+
+/// A visitor receiving the moves of a pebbling in execution order.
+pub trait MoveSink<M> {
+    /// Visit the next move of the stream.
+    fn record(&mut self, mv: M);
+}
+
+impl MoveSink<RbpMove> for RbpTrace {
+    fn record(&mut self, mv: RbpMove) {
+        self.push(mv);
+    }
+}
+
+impl MoveSink<PrbpMove> for PrbpTrace {
+    fn record(&mut self, mv: PrbpMove) {
+        self.push(mv);
+    }
+}
+
+/// A sink that drops every move; useful when only the emitter's own cost
+/// accounting is of interest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardSink;
+
+impl<M> MoveSink<M> for DiscardSink {
+    fn record(&mut self, _mv: M) {}
+}
+
+/// A sink that keeps running totals (move count and I/O cost) without storing
+/// any move.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of moves visited.
+    pub moves: usize,
+    /// Sum of the visited moves' I/O costs.
+    pub io: usize,
+}
+
+impl CountingSink {
+    /// A fresh sink with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MoveSink<RbpMove> for CountingSink {
+    fn record(&mut self, mv: RbpMove) {
+        self.moves += 1;
+        self.io += mv.io_cost();
+    }
+}
+
+impl MoveSink<PrbpMove> for CountingSink {
+    fn record(&mut self, mv: PrbpMove) {
+        self.moves += 1;
+        self.io += mv.io_cost();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::NodeId;
+
+    #[test]
+    fn traces_collect_moves() {
+        let mut t = RbpTrace::new();
+        MoveSink::record(&mut t, RbpMove::Load(NodeId(0)));
+        MoveSink::record(&mut t, RbpMove::Compute(NodeId(1)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.io_cost(), 1);
+    }
+
+    #[test]
+    fn counting_sink_tracks_io_without_storing() {
+        let mut c = CountingSink::new();
+        c.record(PrbpMove::Load(NodeId(0)));
+        c.record(PrbpMove::PartialCompute {
+            from: NodeId(0),
+            to: NodeId(1),
+        });
+        c.record(PrbpMove::Save(NodeId(1)));
+        assert_eq!(c.moves, 3);
+        assert_eq!(c.io, 2);
+    }
+
+    #[test]
+    fn discard_sink_accepts_everything() {
+        let mut d = DiscardSink;
+        d.record(RbpMove::Load(NodeId(0)));
+        d.record(PrbpMove::Delete(NodeId(0)));
+    }
+}

@@ -1,5 +1,10 @@
 //! Recorded pebbling strategies (traces) that can be replayed, validated,
 //! printed and serialised.
+//!
+//! Validation has a streaming form ([`validate_rbp_moves`] /
+//! [`validate_prbp_moves`]): any move iterator is replayed through a fresh
+//! game in `O(1)` extra memory per move, so a pebbling never has to be
+//! materialised just to be checked. The trace methods delegate to it.
 
 use crate::moves::{PrbpMove, RbpMove};
 use crate::prbp::{PrbpConfig, PrbpError, PrbpGame};
@@ -7,6 +12,56 @@ use crate::rbp::{RbpConfig, RbpError, RbpGame};
 use pebble_dag::Dag;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Replay a stream of RBP moves on `dag` under `config`, checking every move
+/// and the terminal condition, without materialising the stream. Returns the
+/// validated I/O cost.
+pub fn validate_rbp_moves<I>(
+    dag: &Dag,
+    config: RbpConfig,
+    moves: I,
+) -> Result<usize, TraceError<RbpError>>
+where
+    I: IntoIterator<Item = RbpMove>,
+{
+    let mut game = RbpGame::new(dag, config);
+    for (i, mv) in moves.into_iter().enumerate() {
+        game.apply(mv).map_err(|error| TraceError::InvalidMove {
+            index: i,
+            description: mv.to_string(),
+            error,
+        })?;
+    }
+    if !game.is_terminal() {
+        return Err(TraceError::NotTerminal);
+    }
+    Ok(game.io_cost())
+}
+
+/// Replay a stream of PRBP moves on `dag` under `config`, checking every move
+/// and the terminal condition, without materialising the stream. Returns the
+/// validated I/O cost.
+pub fn validate_prbp_moves<I>(
+    dag: &Dag,
+    config: PrbpConfig,
+    moves: I,
+) -> Result<usize, TraceError<PrbpError>>
+where
+    I: IntoIterator<Item = PrbpMove>,
+{
+    let mut game = PrbpGame::new(dag, config);
+    for (i, mv) in moves.into_iter().enumerate() {
+        game.apply(mv).map_err(|error| TraceError::InvalidMove {
+            index: i,
+            description: mv.to_string(),
+            error,
+        })?;
+    }
+    if !game.is_terminal() {
+        return Err(TraceError::NotTerminal);
+    }
+    Ok(game.io_cost())
+}
 
 /// A recorded sequence of RBP moves.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,18 +110,7 @@ impl RbpTrace {
     /// Replay the trace on `dag` under `config`, checking every move and the
     /// terminal condition. Returns the validated I/O cost.
     pub fn validate(&self, dag: &Dag, config: RbpConfig) -> Result<usize, TraceError<RbpError>> {
-        let mut game = RbpGame::new(dag, config);
-        for (i, &mv) in self.moves.iter().enumerate() {
-            game.apply(mv).map_err(|error| TraceError::InvalidMove {
-                index: i,
-                description: mv.to_string(),
-                error,
-            })?;
-        }
-        if !game.is_terminal() {
-            return Err(TraceError::NotTerminal);
-        }
-        Ok(game.io_cost())
+        validate_rbp_moves(dag, config, self.moves.iter().copied())
     }
 }
 
@@ -126,18 +170,7 @@ impl PrbpTrace {
     /// Replay the trace on `dag` under `config`, checking every move and the
     /// terminal condition. Returns the validated I/O cost.
     pub fn validate(&self, dag: &Dag, config: PrbpConfig) -> Result<usize, TraceError<PrbpError>> {
-        let mut game = PrbpGame::new(dag, config);
-        for (i, &mv) in self.moves.iter().enumerate() {
-            game.apply(mv).map_err(|error| TraceError::InvalidMove {
-                index: i,
-                description: mv.to_string(),
-                error,
-            })?;
-        }
-        if !game.is_terminal() {
-            return Err(TraceError::NotTerminal);
-        }
-        Ok(game.io_cost())
+        validate_prbp_moves(dag, config, self.moves.iter().copied())
     }
 }
 

@@ -1,0 +1,218 @@
+//! The whitespace edge-list format.
+//!
+//! Grammar (one record per line):
+//!
+//! ```text
+//! line    := ws* (edge ws*)? comment?
+//! edge    := id ws+ id
+//! id      := decimal integer in 0 ..= 99_999_999
+//! comment := '#' anything-to-end-of-line
+//! ```
+//!
+//! Node ids must be dense: the graph has nodes `0 ..= max id`, and since a
+//! computational DAG has no isolated nodes, every id in that range must
+//! appear in some edge. Labels are not representable. Duplicate edges and
+//! self-loops are rejected at their source line; cycles are rejected after
+//! parsing.
+
+use crate::error::{ParseError, ParseErrorKind};
+use pebble_dag::export;
+use pebble_dag::{Dag, DagBuilder, NodeId};
+use std::collections::HashSet;
+
+/// The largest node id the parsers accept. Guards against a single malformed
+/// line (`0 99999999999999`) allocating an absurd node table.
+pub const MAX_NODE_ID: usize = 99_999_999;
+
+/// Split a line into `(1-based char column, token)` pairs, stopping at an
+/// unquoted `#` comment.
+fn tokens(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<(usize, usize)> = None; // (col, byte offset)
+    for (col0, (bytes, c)) in line.char_indices().enumerate() {
+        if c == '#' {
+            if let Some((col, b)) = start.take() {
+                out.push((col + 1, &line[b..bytes]));
+            }
+            return out;
+        }
+        if c.is_whitespace() {
+            if let Some((col, b)) = start.take() {
+                out.push((col + 1, &line[b..bytes]));
+            }
+        } else if start.is_none() {
+            start = Some((col0, bytes));
+        }
+    }
+    if let Some((col, b)) = start.take() {
+        out.push((col + 1, &line[b..]));
+    }
+    out
+}
+
+/// Parse a node id token, with a precise error on anything else.
+pub(crate) fn parse_id(line: usize, col: usize, tok: &str) -> Result<usize, ParseError> {
+    match tok.parse::<usize>() {
+        Ok(id) if id <= MAX_NODE_ID => Ok(id),
+        Ok(id) => Err(ParseError::syntax(
+            line,
+            col,
+            format!("node id {id} exceeds the supported maximum {MAX_NODE_ID}"),
+        )),
+        Err(_) => Err(ParseError::syntax(
+            line,
+            col,
+            format!("expected a node id, found `{tok}`"),
+        )),
+    }
+}
+
+/// Parse a whitespace edge-list document into a [`Dag`].
+pub fn parse(input: &str) -> Result<Dag, ParseError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut max_id = 0usize;
+    let mut any = false;
+    for (lno0, line) in input.lines().enumerate() {
+        let lno = lno0 + 1;
+        let toks = tokens(line);
+        match toks.as_slice() {
+            [] => continue,
+            [(ucol, utok), (vcol, vtok)] => {
+                let u = parse_id(lno, *ucol, utok)?;
+                let v = parse_id(lno, *vcol, vtok)?;
+                if u == v {
+                    return Err(ParseError::at(
+                        lno,
+                        *ucol,
+                        ParseErrorKind::SelfLoop {
+                            node: u.to_string(),
+                        },
+                    ));
+                }
+                if !seen.insert((u, v)) {
+                    return Err(ParseError::at(
+                        lno,
+                        *ucol,
+                        ParseErrorKind::DuplicateEdge {
+                            from: u.to_string(),
+                            to: v.to_string(),
+                        },
+                    ));
+                }
+                max_id = max_id.max(u).max(v);
+                any = true;
+                edges.push((u, v));
+            }
+            [(_, _)] => {
+                let end = line.chars().count() + 1;
+                return Err(ParseError::syntax(
+                    lno,
+                    end,
+                    "edge line needs two node ids, found one",
+                ));
+            }
+            [_, _, (col, tok), ..] => {
+                return Err(ParseError::syntax(
+                    lno,
+                    *col,
+                    format!("unexpected token `{tok}` after edge"),
+                ));
+            }
+        }
+    }
+    if !any {
+        return Err(ParseError::graph(pebble_dag::DagError::Empty));
+    }
+    let mut b = DagBuilder::new();
+    b.add_nodes(max_id + 1);
+    for (u, v) in edges {
+        b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+    }
+    b.build().map_err(ParseError::graph)
+}
+
+/// Render `dag` as a whitespace edge-list (delegates to
+/// [`pebble_dag::export::to_edge_list`], which this parser round-trips).
+pub fn write(dag: &Dag) -> String {
+    export::to_edge_list(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blank_lines_and_edges() {
+        let g = parse("# a chain\n\n0 1   # inline comment\n  1   2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn roundtrips_the_export_writer() {
+        let g = parse("0 2\n2 1\n0 1\n").unwrap();
+        let again = parse(&write(&g)).unwrap();
+        assert_eq!(again.node_count(), g.node_count());
+        for e in g.edges() {
+            assert_eq!(again.edge_endpoints(e), g.edge_endpoints(e));
+        }
+    }
+
+    #[test]
+    fn bad_token_reports_line_and_col() {
+        let err = parse("0 1\n1 x2\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "line 2, col 3: expected a node id, found `x2`"
+        );
+    }
+
+    #[test]
+    fn missing_endpoint_reports_line_end() {
+        let err = parse("0 1\n3\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "line 2, col 2: edge line needs two node ids, found one"
+        );
+    }
+
+    #[test]
+    fn extra_token_is_rejected() {
+        let err = parse("0 1 2\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "line 1, col 5: unexpected token `2` after edge"
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_and_self_loop_are_located() {
+        let err = parse("0 1\n0 1\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2, col 1: duplicate edge 0 -> 1");
+        let err = parse("0 1\n2 2\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2, col 1: self-loop on node 2");
+    }
+
+    #[test]
+    fn cycle_and_empty_are_structural() {
+        let err = parse("0 1\n1 0\n").unwrap_err();
+        assert_eq!(err.location, None);
+        assert_eq!(err.to_string(), "edge set contains a directed cycle");
+        assert!(parse("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn sparse_ids_fail_as_isolated_nodes() {
+        let err = parse("0 2\n").unwrap_err();
+        assert!(err.to_string().contains("isolated"));
+    }
+
+    #[test]
+    fn oversized_ids_are_rejected() {
+        let err = parse("0 999999999999\n").unwrap_err();
+        assert!(err.to_string().contains("exceeds the supported maximum"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Parse errors with line/column precision.
+//!
+//! Every parser in this crate reports *where* an input is malformed: syntax
+//! errors, duplicate edges and self-loops carry the 1-based line and column
+//! of the offending token. Structural errors that have no single position
+//! (a directed cycle, an isolated node, an empty graph) are reported without
+//! a location.
+
+use pebble_dag::DagError;
+use std::fmt;
+
+/// A 1-based position in the source text. Columns count characters, not
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (characters).
+    pub col: usize,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// What went wrong while parsing a DAG interchange document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The text does not conform to the format grammar.
+    Syntax(String),
+    /// The same directed edge appears twice (reported at its second
+    /// occurrence).
+    DuplicateEdge {
+        /// Source node, as written in the input.
+        from: String,
+        /// Target node, as written in the input.
+        to: String,
+    },
+    /// An edge from a node to itself.
+    SelfLoop {
+        /// The node, as written in the input.
+        node: String,
+    },
+    /// An edge references a node the document never defines (JSON: an
+    /// endpoint index out of range).
+    UnknownNode {
+        /// The node reference, as written in the input.
+        name: String,
+    },
+    /// The parsed edge set is not a valid computational DAG (cycle, isolated
+    /// node, empty graph). These have no single source position.
+    Graph(DagError),
+}
+
+/// A parse error, optionally anchored to a position in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Position of the offending token, when the error has one.
+    pub location: Option<Location>,
+    /// The error itself.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// A syntax error at `line`/`col`.
+    pub fn syntax(line: usize, col: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            location: Some(Location { line, col }),
+            kind: ParseErrorKind::Syntax(message.into()),
+        }
+    }
+
+    /// A located error of arbitrary kind.
+    pub fn at(line: usize, col: usize, kind: ParseErrorKind) -> Self {
+        ParseError {
+            location: Some(Location { line, col }),
+            kind,
+        }
+    }
+
+    /// A structural error without a source position.
+    pub fn graph(error: DagError) -> Self {
+        ParseError {
+            location: None,
+            kind: ParseErrorKind::Graph(error),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(loc) = self.location {
+            write!(f, "{loc}: ")?;
+        }
+        match &self.kind {
+            ParseErrorKind::Syntax(msg) => write!(f, "{msg}"),
+            ParseErrorKind::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            ParseErrorKind::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            ParseErrorKind::UnknownNode { name } => {
+                write!(f, "edge references unknown node {name}")
+            }
+            ParseErrorKind::Graph(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,66 @@
+//! Golden-file snapshots of parse-error messages.
+//!
+//! Each case under `tests/golden/` is a pair `<name>.in` (malformed input)
+//! and `<name>.err` (the exact `Display` rendering of the resulting
+//! [`pebble_io::ParseError`]). The messages are part of the user-facing CLI
+//! contract — a changed line/column or wording must be committed here
+//! consciously.
+
+use pebble_io::{parse, Format};
+use std::path::Path;
+
+/// `(case name, format)` — the case prefix names the format under test.
+const CASES: &[(&str, Format)] = &[
+    ("edgelist_bad_token", Format::EdgeList),
+    ("edgelist_missing_endpoint", Format::EdgeList),
+    ("edgelist_duplicate_edge", Format::EdgeList),
+    ("edgelist_cycle", Format::EdgeList),
+    ("dot_missing_arrow_target", Format::Dot),
+    ("dot_unterminated_string", Format::Dot),
+    ("dot_duplicate_edge", Format::Dot),
+    ("dot_cycle", Format::Dot),
+    ("json_missing_colon", Format::Json),
+    ("json_edge_out_of_range", Format::Json),
+    ("json_duplicate_edge", Format::Json),
+    ("json_cycle", Format::Json),
+];
+
+#[test]
+fn every_golden_case_produces_its_snapshotted_error() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for &(name, format) in CASES {
+        let input = std::fs::read_to_string(dir.join(format!("{name}.in")))
+            .unwrap_or_else(|e| panic!("{name}.in: {e}"));
+        let expected = std::fs::read_to_string(dir.join(format!("{name}.err")))
+            .unwrap_or_else(|e| panic!("{name}.err: {e}"));
+        let err = parse(&input, format)
+            .map(|dag| panic!("{name}: expected a parse error, got a {dag:?}"))
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            expected.trim_end(),
+            "{name}: error message diverged from the golden snapshot"
+        );
+    }
+}
+
+#[test]
+fn golden_directory_has_no_orphan_cases() {
+    // Every .in must be listed in CASES (so new snapshots cannot silently go
+    // untested) and have a matching .err.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for entry in std::fs::read_dir(&dir).expect("golden dir exists") {
+        let path = entry.expect("readable entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if let Some(stem) = name.strip_suffix(".in") {
+            assert!(
+                CASES.iter().any(|&(c, _)| c == stem),
+                "{name} is not registered in CASES"
+            );
+            assert!(
+                dir.join(format!("{stem}.err")).exists(),
+                "{stem}.err is missing"
+            );
+        }
+    }
+}

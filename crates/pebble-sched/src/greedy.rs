@@ -4,8 +4,19 @@
 //!
 //! Every move is pushed through the validated trace builders of
 //! `pebble-game`, so an internal inconsistency fails at the offending move;
-//! callers still re-validate the finished trace from scratch before reporting
-//! its cost (see [`crate::report`]).
+//! callers still re-validate the finished pebbling from scratch before
+//! reporting its cost (see [`crate::report`]).
+//!
+//! The executors come in two forms: [`greedy_prbp`] / [`greedy_rbp`] collect
+//! the moves into a trace, while [`greedy_prbp_into`] / [`greedy_rbp_into`]
+//! stream every validated move into a caller-supplied
+//! [`MoveSink`] — the memory-bounded path that lets
+//! million-node DAGs be scheduled and certified without ever materialising a
+//! move vector.
+//!
+//! The caller-supplied compute order is validated up-front (`O(n + m)`); a
+//! non-topological or incomplete order returns `None` in release builds too,
+//! instead of tripping an assertion deep inside the trace builder.
 //!
 //! Complexity: `O(n + m)` for the order and liveness precomputation plus
 //! `O(r)` per eviction, so instances with 10⁴–10⁵ nodes schedule in
@@ -17,6 +28,7 @@ use pebble_dag::{topo, Dag, NodeId};
 use pebble_game::moves::{PrbpMove, RbpMove};
 use pebble_game::prbp::PrbpConfig;
 use pebble_game::rbp::RbpConfig;
+use pebble_game::sink::MoveSink;
 use pebble_game::trace::{PrbpTrace, RbpTrace};
 use pebble_game::{PrbpBuilder, RbpBuilder};
 
@@ -64,7 +76,8 @@ impl RedSet {
 
 /// Schedule `dag` in PRBP with cache size `r`, processing the nodes of
 /// `order` (a topological order covering every node) and evicting through
-/// `policy`. Works for any `r ≥ 2`; returns `None` below that.
+/// `policy`. Works for any `r ≥ 2`; returns `None` below that, and `None`
+/// when `order` is not a topological order covering every node exactly once.
 ///
 /// The in-edges of each node are aggregated one at a time, so at most two
 /// pebbles (the current input and the accumulator) are ever pinned.
@@ -74,15 +87,35 @@ pub fn greedy_prbp(
     order: &[NodeId],
     policy: &mut dyn EvictionPolicy,
 ) -> Option<PrbpTrace> {
+    greedy_prbp_into(dag, r, order, policy, PrbpTrace::new()).map(|(trace, _)| trace)
+}
+
+/// Streaming form of [`greedy_prbp`]: every validated move is forwarded to
+/// `sink` instead of being collected, so the executor runs in `O(n + m)`
+/// memory regardless of how many moves the schedule contains. Returns the
+/// sink and the executor's I/O cost, or `None` under the same conditions as
+/// [`greedy_prbp`] (`r < 2`, invalid order).
+pub fn greedy_prbp_into<S: MoveSink<PrbpMove>>(
+    dag: &Dag,
+    r: usize,
+    order: &[NodeId],
+    policy: &mut dyn EvictionPolicy,
+    sink: S,
+) -> Option<(S, usize)> {
     if r < 2 {
         return None;
     }
-    debug_assert!(topo::is_topological_order(dag, order));
+    // Validate up-front: external callers (the CLI, refinement loops) hand in
+    // arbitrary orders, and a non-topological one would only surface as a
+    // builder `.expect(...)` panic deep inside the executor.
+    if !topo::is_topological_order(dag, order) {
+        return None;
+    }
     let n = dag.node_count();
     let mut next_use = NextUse::new(dag, order);
     let mut last_use = vec![0usize; n];
     let mut red = RedSet::new(n);
-    let mut builder = PrbpBuilder::new(dag, PrbpConfig::new(r));
+    let mut builder = PrbpBuilder::with_sink(dag, PrbpConfig::new(r), sink);
     let mut clock = 0usize;
     let mut candidates: Vec<Candidate> = Vec::with_capacity(r);
 
@@ -148,25 +181,41 @@ pub fn greedy_prbp(
             red.remove(v);
         }
     }
-    let (trace, game) = builder.finish();
+    let (sink, game) = builder.finish();
     debug_assert!(game.is_terminal());
-    Some(trace)
+    Some((sink, game.io_cost()))
 }
 
 /// Schedule `dag` in RBP with cache size `r`, processing the nodes of
 /// `order` and evicting through `policy`. RBP requires all inputs of a node
 /// to be red simultaneously, so this needs `r ≥ Δ_in + 1`; returns `None`
-/// below that.
+/// below that, and `None` when `order` is not a topological order covering
+/// every node exactly once.
 pub fn greedy_rbp(
     dag: &Dag,
     r: usize,
     order: &[NodeId],
     policy: &mut dyn EvictionPolicy,
 ) -> Option<RbpTrace> {
+    greedy_rbp_into(dag, r, order, policy, RbpTrace::new()).map(|(trace, _)| trace)
+}
+
+/// Streaming form of [`greedy_rbp`]: every validated move is forwarded to
+/// `sink` instead of being collected. Returns the sink and the executor's
+/// I/O cost, or `None` under the same conditions as [`greedy_rbp`].
+pub fn greedy_rbp_into<S: MoveSink<RbpMove>>(
+    dag: &Dag,
+    r: usize,
+    order: &[NodeId],
+    policy: &mut dyn EvictionPolicy,
+    sink: S,
+) -> Option<(S, usize)> {
     if r < dag.max_in_degree() + 1 {
         return None;
     }
-    debug_assert!(topo::is_topological_order(dag, order));
+    if !topo::is_topological_order(dag, order) {
+        return None;
+    }
     let n = dag.node_count();
     let mut next_use = NextUse::new(dag, order);
     let mut last_use = vec![0usize; n];
@@ -175,7 +224,7 @@ pub fn greedy_rbp(
     // Uncomputed successors per node, maintained incrementally so eviction
     // candidates are scored in O(1) each (keeping evictions at O(r) total).
     let mut remaining: Vec<u32> = dag.nodes().map(|v| dag.out_degree(v) as u32).collect();
-    let mut builder = RbpBuilder::new(dag, RbpConfig::new(r));
+    let mut builder = RbpBuilder::with_sink(dag, RbpConfig::new(r), sink);
     let mut clock = 0usize;
     let mut candidates: Vec<Candidate> = Vec::with_capacity(r);
 
@@ -238,9 +287,9 @@ pub fn greedy_rbp(
             red.remove(v);
         }
     }
-    let (trace, game) = builder.finish();
+    let (sink, game) = builder.finish();
     debug_assert!(game.is_terminal());
-    Some(trace)
+    Some((sink, game.io_cost()))
 }
 
 #[cfg(test)]
@@ -328,6 +377,52 @@ mod tests {
         let ord = order::natural(&dag);
         let cost = prbp_cost(&dag, 64, &ord, &mut FurthestInFuture);
         assert_eq!(cost, dag.trivial_cost());
+    }
+
+    #[test]
+    fn non_topological_orders_are_rejected_not_panicked() {
+        // Regression: these entry points used to guard the caller-supplied
+        // order with `debug_assert!` only, so in release builds a reversed
+        // order panicked via an `.expect(...)` deep inside the trace builder
+        // instead of returning `None` as documented.
+        let dag = fft(8).dag;
+        let mut rev = order::natural(&dag);
+        rev.reverse();
+        assert!(greedy_prbp(&dag, 4, &rev, &mut FurthestInFuture).is_none());
+        assert!(greedy_rbp(&dag, dag.max_in_degree() + 2, &rev, &mut FurthestInFuture).is_none());
+
+        // Incomplete and duplicated orders are rejected the same way.
+        let short = &order::natural(&dag)[1..];
+        assert!(greedy_prbp(&dag, 4, short, &mut FurthestInFuture).is_none());
+        let mut dup = order::natural(&dag);
+        dup[0] = dup[1];
+        assert!(greedy_prbp(&dag, 4, &dup, &mut FurthestInFuture).is_none());
+    }
+
+    #[test]
+    fn streaming_executor_matches_the_materialised_trace() {
+        use pebble_game::sink::CountingSink;
+        let dag = fft(16).dag;
+        let r = 4;
+        let ord = order::natural(&dag);
+        let trace = greedy_prbp(&dag, r, &ord, &mut FurthestInFuture).unwrap();
+        let (sink, io) =
+            greedy_prbp_into(&dag, r, &ord, &mut FurthestInFuture, CountingSink::new()).unwrap();
+        assert_eq!(sink.moves, trace.len());
+        assert_eq!(sink.io, trace.io_cost());
+        assert_eq!(io, trace.io_cost());
+
+        let rtrace = greedy_rbp(&dag, r + 4, &ord, &mut FurthestInFuture).unwrap();
+        let (rsink, rio) = greedy_rbp_into(
+            &dag,
+            r + 4,
+            &ord,
+            &mut FurthestInFuture,
+            CountingSink::new(),
+        )
+        .unwrap();
+        assert_eq!(rsink.moves, rtrace.len());
+        assert_eq!(rio, rtrace.io_cost());
     }
 
     #[test]

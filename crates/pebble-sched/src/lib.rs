@@ -41,8 +41,11 @@ pub mod report;
 pub mod suite;
 
 pub use beam::{beam_prbp, BeamConfig};
-pub use greedy::{greedy_prbp, greedy_rbp};
+pub use greedy::{greedy_prbp, greedy_prbp_into, greedy_rbp, greedy_rbp_into};
 pub use local::{local_search_prbp, LocalSearchConfig};
 pub use policy::{Candidate, EvictionPolicy, FewestRemainingConsumers, FurthestInFuture, Lru};
-pub use report::{certify_prbp, certify_rbp, BoundValue, ScheduleReport};
+pub use report::{
+    certify_greedy_prbp, certify_greedy_rbp, certify_prbp, certify_prbp_with, certify_rbp,
+    certify_rbp_with, prbp_bound_ladder, rbp_bound_ladder, BoundSet, BoundValue, ScheduleReport,
+};
 pub use suite::{best_prbp, default_suite, OrderKind, PolicyKind, Scheduler};

@@ -48,7 +48,13 @@ impl Default for LocalSearchConfig {
 /// Recover the compute order of a PRBP trace: sources (in id order) followed
 /// by the non-source nodes in the order they became fully computed. Lets the
 /// local search refine the output of any scheduler, including the beam.
-pub fn compute_order_of_trace(dag: &Dag, trace: &PrbpTrace) -> Vec<NodeId> {
+///
+/// Returns `None` when the trace is malformed for this DAG: either it does
+/// not complete every node, or it contains more `PartialCompute` moves into
+/// some node than that node has in-edges. (Both cases used to be guarded by
+/// `debug_assert!` only, so a release build silently returned a truncated
+/// order — or wrapped the in-degree counter around — instead of failing.)
+pub fn compute_order_of_trace(dag: &Dag, trace: &PrbpTrace) -> Option<Vec<NodeId>> {
     let n = dag.node_count();
     let mut unmarked_in: Vec<u32> = (0..n)
         .map(|i| dag.in_degree(NodeId::from_index(i)) as u32)
@@ -56,14 +62,17 @@ pub fn compute_order_of_trace(dag: &Dag, trace: &PrbpTrace) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = dag.nodes().filter(|&v| dag.is_source(v)).collect();
     for mv in &trace.moves {
         if let PrbpMove::PartialCompute { to, .. } = *mv {
-            unmarked_in[to.index()] -= 1;
-            if unmarked_in[to.index()] == 0 {
+            let left = unmarked_in[to.index()].checked_sub(1)?;
+            unmarked_in[to.index()] = left;
+            if left == 0 {
                 order.push(to);
             }
         }
     }
-    debug_assert_eq!(order.len(), n, "trace must complete every node");
-    order
+    if order.len() != n {
+        return None;
+    }
+    Some(order)
 }
 
 /// Greedily evaluate `order` with every shipped eviction policy; returns the
@@ -88,19 +97,45 @@ fn is_topological(dag: &Dag, pos: &[usize]) -> bool {
     })
 }
 
+/// Move the segment `v[start .. start + len]` so that it begins at index
+/// `dest` of the resulting vector, preserving the relative order of all other
+/// elements. `dest` ranges over `0 ..= v.len() - len`; `dest == start` is a
+/// no-op.
+///
+/// Implemented as a single slice rotation: `O(window)` time, no allocation.
+/// (The previous implementation drained the segment and re-inserted it
+/// element-by-element at `dest` *relative to the drained vector*, which both
+/// cost `O(n · len)` and, for `dest > start`, landed the segment `len`
+/// positions past the documented destination.)
+fn move_segment<T>(v: &mut [T], start: usize, len: usize, dest: usize) {
+    if dest < start {
+        v[dest..start + len].rotate_right(len);
+    } else {
+        v[start..dest + len].rotate_left(len);
+    }
+}
+
 /// Refine the schedule starting from `initial_order` (defaults to the natural
 /// order when `None`): pick the best eviction policy for the order, then
 /// propose seeded segment moves, re-running the greedy executor on every
 /// topologically valid proposal and keeping only strictly cheaper validated
-/// results. Returns the refined trace and its cost; `None` for `r < 2`.
+/// results. Returns the refined trace and its cost; `None` for `r < 2` or
+/// when `initial_order` is not a topological order covering every node
+/// exactly once.
 pub fn local_search_prbp(
     dag: &Dag,
     r: usize,
     initial_order: Option<Vec<NodeId>>,
     cfg: LocalSearchConfig,
 ) -> Option<(PrbpTrace, usize)> {
+    if let Some(ord) = &initial_order {
+        // Validate here, in release too: a bad caller-supplied order would
+        // otherwise only surface as a panic inside the greedy executor.
+        if !topo::is_topological_order(dag, ord) {
+            return None;
+        }
+    }
     let mut ord = initial_order.unwrap_or_else(|| order::natural(dag));
-    debug_assert!(topo::is_topological_order(dag, &ord));
     let (_, mut best_trace, mut best_cost) = best_policy(dag, r, &ord)?;
 
     let n = ord.len();
@@ -120,10 +155,7 @@ pub fn local_search_prbp(
         }
         // Move ord[start .. start+len] so that it begins at `dest`.
         let mut cand = ord.clone();
-        let seg: Vec<NodeId> = cand.drain(start..start + len).collect();
-        for (k, v) in seg.into_iter().enumerate() {
-            cand.insert(dest + k, v);
-        }
+        move_segment(&mut cand, start, len, dest);
         for (i, v) in cand.iter().enumerate() {
             pos[v.index()] = i;
         }
@@ -155,9 +187,65 @@ mod tests {
     fn compute_order_roundtrips_through_beam_traces() {
         let dag = fft(8).dag;
         let trace = beam_prbp(&dag, 4, BeamConfig::adaptive()).unwrap();
-        let ord = compute_order_of_trace(&dag, &trace);
+        let ord = compute_order_of_trace(&dag, &trace).expect("beam traces are complete");
         assert_eq!(ord.len(), dag.node_count());
         assert!(topo::is_topological_order(&dag, &ord));
+    }
+
+    #[test]
+    fn compute_order_rejects_incomplete_and_malformed_traces() {
+        // Regression: the pre-fix code only `debug_assert`ed completeness, so
+        // a release build returned a silently truncated order for incomplete
+        // traces — and wrapped `unmarked_in` around on traces with repeated
+        // aggregations into the same node.
+        let dag = fft(8).dag;
+        let full = beam_prbp(&dag, 4, BeamConfig::adaptive()).unwrap();
+
+        // Incomplete: drop the tail of a valid trace.
+        let cut = PrbpTrace::from_moves(full.moves[..full.moves.len() / 2].to_vec());
+        assert_eq!(compute_order_of_trace(&dag, &cut), None);
+
+        // Malformed: aggregate the same edge more often than the target's
+        // in-degree allows; the decrement must not wrap.
+        let (u, v) = dag.edge_endpoints(dag.edges().next().unwrap());
+        let dup = PrbpTrace::from_moves(vec![
+            PrbpMove::PartialCompute { from: u, to: v };
+            dag.in_degree(v) + 1
+        ]);
+        assert_eq!(compute_order_of_trace(&dag, &dup), None);
+    }
+
+    #[test]
+    fn move_segment_pins_final_positions() {
+        // Documented semantics: the segment begins at `dest` in the result.
+        let mut v = vec![0, 1, 2, 3, 4, 5];
+        move_segment(&mut v, 1, 2, 3); // move [1, 2] so it begins at index 3
+        assert_eq!(v, vec![0, 3, 4, 1, 2, 5]);
+
+        let mut v = vec![0, 1, 2, 3, 4, 5];
+        move_segment(&mut v, 3, 2, 1); // move [3, 4] so it begins at index 1
+        assert_eq!(v, vec![0, 3, 4, 1, 2, 5]);
+
+        // Extremes: to the very front and the very tail.
+        let mut v = vec![0, 1, 2, 3, 4];
+        move_segment(&mut v, 2, 2, 0);
+        assert_eq!(v, vec![2, 3, 0, 1, 4]);
+        let mut v = vec![0, 1, 2, 3, 4];
+        move_segment(&mut v, 0, 2, 3);
+        assert_eq!(v, vec![2, 3, 4, 0, 1]);
+
+        // `dest == start` is a no-op.
+        let mut v = vec![0, 1, 2, 3];
+        move_segment(&mut v, 1, 2, 1);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn local_search_rejects_invalid_initial_orders() {
+        let dag = fig1_full().dag;
+        let mut rev = order::natural(&dag);
+        rev.reverse();
+        assert!(local_search_prbp(&dag, 3, Some(rev), LocalSearchConfig::default()).is_none());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! initial-state bounds of `pebble-bounds` / `pebble-game`:
 //!
 //! * `load-count` — mandatory loads and saves
-//!   ([`pebble_game::exact::LoadCountHeuristic`]);
+//!   ([`pebble_game::exact::LoadCountHeuristic`]); always evaluated, so the
+//!   bound ladder is non-empty by construction;
 //! * `s-dominator` — the dominator phase bound of Theorem 6.7
 //!   ([`pebble_bounds::SDominatorHeuristic`]);
 //! * `s-edge` — the S-edge-partition bound of Theorem 6.5
@@ -15,12 +16,22 @@
 //!
 //! Since each bound is admissible, `cost / best_lower_bound` certifies the
 //! optimality gap: the schedule is provably within that factor of `OPT`.
+//!
+//! Two certification paths exist. [`certify_rbp`] / [`certify_prbp`] replay a
+//! materialised trace. [`certify_greedy_rbp`] / [`certify_greedy_prbp`] run a
+//! greedy executor with a *streaming* certifier sink: every emitted move is
+//! replayed through an independent simulator as it is produced, so a
+//! million-node DAG is scheduled, validated and certified in `O(n + m)`
+//! memory without ever materialising a move vector.
 
+use crate::greedy::{greedy_prbp_into, greedy_rbp_into};
+use crate::policy::EvictionPolicy;
 use pebble_bounds::{SDominatorHeuristic, SEdgeHeuristic};
-use pebble_dag::Dag;
+use pebble_dag::{Dag, NodeId};
 use pebble_game::exact::{self, LoadCountHeuristic, LowerBound};
-use pebble_game::prbp::{PrbpConfig, PrbpError};
-use pebble_game::rbp::{RbpConfig, RbpError};
+use pebble_game::prbp::{PrbpConfig, PrbpError, PrbpGame};
+use pebble_game::rbp::{RbpConfig, RbpError, RbpGame};
+use pebble_game::sink::MoveSink;
 use pebble_game::trace::{PrbpTrace, RbpTrace, TraceError};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +42,36 @@ pub struct BoundValue {
     pub name: String,
     /// The bound on the optimal I/O cost.
     pub value: usize,
+}
+
+/// Which admissible lower bounds a certification evaluates.
+///
+/// `load-count` is always part of the ladder — it is linear-time and what
+/// guarantees the ladder is never empty. The partition bounds (`s-dominator`,
+/// `s-edge`) run max-flow computations per phase and are worth their cost on
+/// small and mid-size instances, but not on million-node DAGs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundSet {
+    /// `load-count` only: linear time, the choice for very large instances.
+    Fast,
+    /// `load-count`, `s-dominator` and `s-edge`.
+    Full,
+}
+
+impl BoundSet {
+    /// Node-count threshold above which [`BoundSet::auto_for`] stops
+    /// evaluating the (max-flow-based) partition bounds.
+    pub const AUTO_FULL_LIMIT: usize = 100_000;
+
+    /// [`BoundSet::Full`] for instances up to [`BoundSet::AUTO_FULL_LIMIT`]
+    /// nodes, [`BoundSet::Fast`] beyond.
+    pub fn auto_for(dag: &Dag) -> Self {
+        if dag.node_count() <= Self::AUTO_FULL_LIMIT {
+            BoundSet::Full
+        } else {
+            BoundSet::Fast
+        }
+    }
 }
 
 /// A certified schedule: validated cost, the lower-bound ladder, and the
@@ -47,92 +88,266 @@ pub struct ScheduleReport {
     pub cost: usize,
     /// Number of moves in the trace.
     pub moves: usize,
-    /// Every admissible lower bound evaluated on the initial state.
+    /// Every admissible lower bound evaluated on the initial state. Reports
+    /// built by this module always evaluate `load-count`, so the ladder is
+    /// never empty.
     pub bounds: Vec<BoundValue>,
     /// The largest of [`ScheduleReport::bounds`] (still admissible).
     pub best_bound: usize,
 }
 
 impl ScheduleReport {
-    /// The certified optimality gap `cost / best_bound`. Always finite: every
-    /// DAG has at least one source and one sink, so the load-count bound is
-    /// at least 2.
+    /// The certified optimality gap `cost / best_bound`.
+    ///
+    /// Finite for every report built by the `certify_*` functions: the ladder
+    /// always contains the `load-count` bound, and on any valid [`Dag`]
+    /// (non-empty, no isolated nodes — hence at least one source and one
+    /// sink) that bound is at least 2. `best_bound` is the plain maximum of
+    /// the ladder — it is never floored or otherwise adjusted.
     pub fn gap(&self) -> f64 {
         self.cost as f64 / self.best_bound as f64
     }
 }
 
+/// Evaluate the lower-bound ladder through `eval` (which closes over the DAG,
+/// the model and its configuration). The `load-count` entry is unconditional,
+/// so the returned ladder is non-empty and `best` needs no fallback value —
+/// an empty ladder is impossible by construction.
+fn bound_ladder(set: BoundSet, mut eval: impl FnMut(&dyn LowerBound) -> usize) -> LadderOutcome {
+    let load = BoundValue {
+        name: LoadCountHeuristic.name().to_string(),
+        value: eval(&LoadCountHeuristic),
+    };
+    let mut best = load.value;
+    let mut bounds = vec![load];
+    if set == BoundSet::Full {
+        let dominator = SDominatorHeuristic::new();
+        let edge = SEdgeHeuristic::new();
+        for h in [&dominator as &dyn LowerBound, &edge] {
+            let value = eval(h);
+            best = best.max(value);
+            bounds.push(BoundValue {
+                name: h.name().to_string(),
+                value,
+            });
+        }
+    }
+    LadderOutcome { bounds, best }
+}
+
+struct LadderOutcome {
+    bounds: Vec<BoundValue>,
+    best: usize,
+}
+
+/// Assemble the report shared by every certification path.
+fn assemble(
+    model: &str,
+    r: usize,
+    scheduler: String,
+    cost: usize,
+    moves: usize,
+    ladder: LadderOutcome,
+) -> ScheduleReport {
+    ScheduleReport {
+        model: model.to_string(),
+        r,
+        scheduler,
+        cost,
+        moves,
+        bounds: ladder.bounds,
+        best_bound: ladder.best,
+    }
+}
+
 /// Validate `trace` on `dag` under RBP with cache `r` and pair the replayed
-/// cost with the admissible lower bounds.
+/// cost with the admissible lower bounds of `set`.
+pub fn certify_rbp_with(
+    dag: &Dag,
+    r: usize,
+    trace: &RbpTrace,
+    scheduler: impl Into<String>,
+    set: BoundSet,
+) -> Result<ScheduleReport, TraceError<RbpError>> {
+    let config = RbpConfig::new(r);
+    let cost = trace.validate(dag, config)?;
+    let ladder = bound_ladder(set, |h| exact::rbp_initial_bound(dag, config, h));
+    Ok(assemble(
+        "rbp",
+        r,
+        scheduler.into(),
+        cost,
+        trace.len(),
+        ladder,
+    ))
+}
+
+/// [`certify_rbp_with`] using the full bound ladder.
 pub fn certify_rbp(
     dag: &Dag,
     r: usize,
     trace: &RbpTrace,
     scheduler: impl Into<String>,
 ) -> Result<ScheduleReport, TraceError<RbpError>> {
-    let config = RbpConfig::new(r);
-    let cost = trace.validate(dag, config)?;
-    let bounds: Vec<BoundValue> = [
-        &LoadCountHeuristic as &dyn LowerBound,
-        &SDominatorHeuristic::new(),
-        &SEdgeHeuristic::new(),
-    ]
-    .into_iter()
-    .map(|h| BoundValue {
-        name: h.name().to_string(),
-        value: exact::rbp_initial_bound(dag, config, h),
-    })
-    .collect();
-    let best_bound = bounds.iter().map(|b| b.value).max().unwrap_or(0).max(1);
-    Ok(ScheduleReport {
-        model: "rbp".to_string(),
-        r,
-        scheduler: scheduler.into(),
-        cost,
-        moves: trace.len(),
-        bounds,
-        best_bound,
-    })
+    certify_rbp_with(dag, r, trace, scheduler, BoundSet::Full)
 }
 
 /// Validate `trace` on `dag` under PRBP with cache `r` and pair the replayed
-/// cost with the admissible lower bounds.
+/// cost with the admissible lower bounds of `set`.
+pub fn certify_prbp_with(
+    dag: &Dag,
+    r: usize,
+    trace: &PrbpTrace,
+    scheduler: impl Into<String>,
+    set: BoundSet,
+) -> Result<ScheduleReport, TraceError<PrbpError>> {
+    let config = PrbpConfig::new(r);
+    let cost = trace.validate(dag, config)?;
+    let ladder = bound_ladder(set, |h| exact::prbp_initial_bound(dag, config, h));
+    Ok(assemble(
+        "prbp",
+        r,
+        scheduler.into(),
+        cost,
+        trace.len(),
+        ladder,
+    ))
+}
+
+/// [`certify_prbp_with`] using the full bound ladder.
 pub fn certify_prbp(
     dag: &Dag,
     r: usize,
     trace: &PrbpTrace,
     scheduler: impl Into<String>,
 ) -> Result<ScheduleReport, TraceError<PrbpError>> {
+    certify_prbp_with(dag, r, trace, scheduler, BoundSet::Full)
+}
+
+/// The lower-bound ladder of the *initial* PRBP state, without scheduling
+/// anything: `(bounds, best_bound)`. What `prbp bound` prints.
+pub fn prbp_bound_ladder(dag: &Dag, r: usize, set: BoundSet) -> (Vec<BoundValue>, usize) {
     let config = PrbpConfig::new(r);
-    let cost = trace.validate(dag, config)?;
-    let bounds: Vec<BoundValue> = [
-        &LoadCountHeuristic as &dyn LowerBound,
-        &SDominatorHeuristic::new(),
-        &SEdgeHeuristic::new(),
-    ]
-    .into_iter()
-    .map(|h| BoundValue {
-        name: h.name().to_string(),
-        value: exact::prbp_initial_bound(dag, config, h),
-    })
-    .collect();
-    let best_bound = bounds.iter().map(|b| b.value).max().unwrap_or(0).max(1);
-    Ok(ScheduleReport {
-        model: "prbp".to_string(),
+    let ladder = bound_ladder(set, |h| exact::prbp_initial_bound(dag, config, h));
+    (ladder.bounds, ladder.best)
+}
+
+/// The lower-bound ladder of the *initial* RBP state, without scheduling
+/// anything: `(bounds, best_bound)`.
+pub fn rbp_bound_ladder(dag: &Dag, r: usize, set: BoundSet) -> (Vec<BoundValue>, usize) {
+    let config = RbpConfig::new(r);
+    let ladder = bound_ladder(set, |h| exact::rbp_initial_bound(dag, config, h));
+    (ladder.bounds, ladder.best)
+}
+
+/// A [`MoveSink`] that replays every visited move through an independent
+/// simulator: the streaming equivalent of `trace.validate(..)`. The first
+/// illegal move is remembered (with its index) and later moves are ignored.
+struct ReplaySink<G, M, E> {
+    game: G,
+    moves: usize,
+    failure: Option<TraceError<E>>,
+    apply: fn(&mut G, M) -> Result<(), E>,
+}
+
+impl<G, M: std::fmt::Display + Copy, E> ReplaySink<G, M, E> {
+    fn new(game: G, apply: fn(&mut G, M) -> Result<(), E>) -> Self {
+        ReplaySink {
+            game,
+            moves: 0,
+            failure: None,
+            apply,
+        }
+    }
+}
+
+impl<G, M: std::fmt::Display + Copy, E> MoveSink<M> for ReplaySink<G, M, E> {
+    fn record(&mut self, mv: M) {
+        if self.failure.is_none() {
+            if let Err(error) = (self.apply)(&mut self.game, mv) {
+                self.failure = Some(TraceError::InvalidMove {
+                    index: self.moves,
+                    description: mv.to_string(),
+                    error,
+                });
+            }
+        }
+        self.moves += 1;
+    }
+}
+
+/// Run the greedy PRBP executor on `order`/`policy` and certify the result
+/// through the streaming pipeline: every move is validated twice (by the
+/// executor's own builder and by an independent replay simulator inside the
+/// sink) and never stored. Returns `None` under the same conditions as
+/// [`crate::greedy_prbp`] (`r < 2`, invalid order); `Err` if the replayed
+/// pebbling is rejected, which would indicate an executor bug.
+pub fn certify_greedy_prbp(
+    dag: &Dag,
+    r: usize,
+    order: &[NodeId],
+    policy: &mut dyn EvictionPolicy,
+    scheduler: impl Into<String>,
+    set: BoundSet,
+) -> Option<Result<ScheduleReport, TraceError<PrbpError>>> {
+    let config = PrbpConfig::new(r);
+    let sink = ReplaySink::new(PrbpGame::new(dag, config), PrbpGame::apply);
+    let (sink, _) = greedy_prbp_into(dag, r, order, policy, sink)?;
+    if let Some(err) = sink.failure {
+        return Some(Err(err));
+    }
+    if !sink.game.is_terminal() {
+        return Some(Err(TraceError::NotTerminal));
+    }
+    let cost = sink.game.io_cost();
+    let ladder = bound_ladder(set, |h| exact::prbp_initial_bound(dag, config, h));
+    Some(Ok(assemble(
+        "prbp",
         r,
-        scheduler: scheduler.into(),
+        scheduler.into(),
         cost,
-        moves: trace.len(),
-        bounds,
-        best_bound,
-    })
+        sink.moves,
+        ladder,
+    )))
+}
+
+/// Run the greedy RBP executor on `order`/`policy` and certify the result
+/// through the streaming pipeline. Returns `None` under the same conditions
+/// as [`crate::greedy_rbp`] (`r < Δ_in + 1`, invalid order).
+pub fn certify_greedy_rbp(
+    dag: &Dag,
+    r: usize,
+    order: &[NodeId],
+    policy: &mut dyn EvictionPolicy,
+    scheduler: impl Into<String>,
+    set: BoundSet,
+) -> Option<Result<ScheduleReport, TraceError<RbpError>>> {
+    let config = RbpConfig::new(r);
+    let sink = ReplaySink::new(RbpGame::new(dag, config), RbpGame::apply);
+    let (sink, _) = greedy_rbp_into(dag, r, order, policy, sink)?;
+    if let Some(err) = sink.failure {
+        return Some(Err(err));
+    }
+    if !sink.game.is_terminal() {
+        return Some(Err(TraceError::NotTerminal));
+    }
+    let cost = sink.game.io_cost();
+    let ladder = bound_ladder(set, |h| exact::rbp_initial_bound(dag, config, h));
+    Some(Ok(assemble(
+        "rbp",
+        r,
+        scheduler.into(),
+        cost,
+        sink.moves,
+        ladder,
+    )))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::beam::{beam_prbp, BeamConfig};
-    use crate::greedy::greedy_rbp;
+    use crate::greedy::{greedy_prbp, greedy_rbp};
     use crate::order;
     use crate::policy::FurthestInFuture;
     use pebble_dag::generators::{fft, fig1_full};
@@ -164,6 +379,92 @@ mod tests {
             exact::optimal_rbp_cost(&dag, RbpConfig::new(r), SearchConfig::default()).unwrap();
         assert!(report.best_bound <= opt);
         assert!(report.cost >= opt);
+    }
+
+    #[test]
+    fn ladder_is_never_empty_and_best_bound_is_its_plain_maximum() {
+        // Regression for the `.unwrap_or(0).max(1)` flooring: `best_bound`
+        // must be exactly the maximum of the (non-empty) ladder, and the
+        // ladder always starts with `load-count`, which on any valid DAG
+        // (>= 1 source, >= 1 sink) is at least 2 — so `gap()` is finite
+        // without any silent adjustment.
+        let dag = fig1_full().dag;
+        for set in [BoundSet::Fast, BoundSet::Full] {
+            let trace = beam_prbp(&dag, 3, BeamConfig::adaptive()).unwrap();
+            let report = certify_prbp_with(&dag, 3, &trace, "beam:1", set).unwrap();
+            assert!(!report.bounds.is_empty());
+            assert_eq!(report.bounds[0].name, "load-count");
+            assert_eq!(
+                report.best_bound,
+                report.bounds.iter().map(|b| b.value).max().unwrap()
+            );
+            assert!(report.bounds[0].value >= 2);
+            assert!(report.gap().is_finite());
+        }
+    }
+
+    #[test]
+    fn fast_and_full_ladders_agree_on_load_count() {
+        let dag = fft(8).dag;
+        let (fast, fast_best) = prbp_bound_ladder(&dag, 4, BoundSet::Fast);
+        let (full, full_best) = prbp_bound_ladder(&dag, 4, BoundSet::Full);
+        assert_eq!(fast.len(), 1);
+        assert_eq!(full.len(), 3);
+        assert_eq!(fast[0], full[0]);
+        assert!(full_best >= fast_best);
+        let (rfast, _) = rbp_bound_ladder(&dag, 8, BoundSet::Fast);
+        assert_eq!(rfast[0].name, "load-count");
+    }
+
+    #[test]
+    fn streaming_certification_matches_the_materialised_path() {
+        let dag = fft(16).dag;
+        let r = 6;
+        let ord = order::dfs_postorder(&dag);
+        let trace = greedy_prbp(&dag, r, &ord, &mut FurthestInFuture).unwrap();
+        let via_trace = certify_prbp(&dag, r, &trace, "greedy:belady:dfs").unwrap();
+        let via_stream = certify_greedy_prbp(
+            &dag,
+            r,
+            &ord,
+            &mut FurthestInFuture,
+            "greedy:belady:dfs",
+            BoundSet::Full,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(via_stream, via_trace);
+
+        let rr = dag.max_in_degree() + 2;
+        let rtrace = greedy_rbp(&dag, rr, &ord, &mut FurthestInFuture).unwrap();
+        let rvia_trace = certify_rbp(&dag, rr, &rtrace, "greedy:belady:dfs").unwrap();
+        let rvia_stream = certify_greedy_rbp(
+            &dag,
+            rr,
+            &ord,
+            &mut FurthestInFuture,
+            "greedy:belady:dfs",
+            BoundSet::Full,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(rvia_stream, rvia_trace);
+    }
+
+    #[test]
+    fn streaming_certification_rejects_invalid_orders() {
+        let dag = fft(8).dag;
+        let mut rev = order::natural(&dag);
+        rev.reverse();
+        assert!(certify_greedy_prbp(
+            &dag,
+            4,
+            &rev,
+            &mut FurthestInFuture,
+            "greedy",
+            BoundSet::Fast
+        )
+        .is_none());
     }
 
     #[test]

@@ -25,8 +25,24 @@ pub enum PolicyKind {
     FewestConsumers,
 }
 
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "belady" => Ok(PolicyKind::Belady),
+            "lru" => Ok(PolicyKind::Lru),
+            "fewest" => Ok(PolicyKind::FewestConsumers),
+            other => Err(format!(
+                "unknown eviction policy `{other}` (expected belady, lru or fewest)"
+            )),
+        }
+    }
+}
+
 impl PolicyKind {
-    fn build(self) -> Box<dyn EvictionPolicy> {
+    /// Instantiate the shipped implementation of this policy.
+    pub fn build(self) -> Box<dyn EvictionPolicy> {
         match self {
             PolicyKind::Belady => Box::new(FurthestInFuture),
             PolicyKind::Lru => Box::new(Lru),
@@ -52,8 +68,23 @@ pub enum OrderKind {
     DfsPostorder,
 }
 
+impl std::str::FromStr for OrderKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "natural" => Ok(OrderKind::Natural),
+            "dfs" => Ok(OrderKind::DfsPostorder),
+            other => Err(format!(
+                "unknown compute order `{other}` (expected natural or dfs)"
+            )),
+        }
+    }
+}
+
 impl OrderKind {
-    fn build(self, dag: &Dag) -> Vec<NodeId> {
+    /// Materialise this compute order for `dag`.
+    pub fn build(self, dag: &Dag) -> Vec<NodeId> {
         match self {
             OrderKind::Natural => order::natural(dag),
             OrderKind::DfsPostorder => order::dfs_postorder(dag),
@@ -106,6 +137,70 @@ impl fmt::Display for Scheduler {
             }
             Scheduler::Beam { width, .. } => write!(f, "beam:{width}"),
             Scheduler::Local { iterations } => write!(f, "local:{iterations}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Scheduler {
+    type Err = String;
+
+    /// Parse the display form back into a configuration: `baseline`,
+    /// `greedy:<policy>:<order>`, `beam:<width>[:<branch>]` (branch defaults
+    /// to 4, the [`crate::beam::BeamConfig::default`] value) or
+    /// `local:<iterations>`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "baseline" {
+            return Ok(Scheduler::Baseline);
+        }
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        match head {
+            "greedy" => {
+                let policy = parts
+                    .next()
+                    .ok_or_else(|| "greedy needs a policy: greedy:<policy>:<order>".to_string())?
+                    .parse()?;
+                let order = parts
+                    .next()
+                    .ok_or_else(|| "greedy needs an order: greedy:<policy>:<order>".to_string())?
+                    .parse()?;
+                if parts.next().is_some() {
+                    return Err(format!("trailing components in scheduler `{s}`"));
+                }
+                Ok(Scheduler::Greedy { policy, order })
+            }
+            "beam" => {
+                let width: usize = parts
+                    .next()
+                    .ok_or_else(|| "beam needs a width: beam:<width>[:<branch>]".to_string())?
+                    .parse()
+                    .map_err(|_| format!("invalid beam width in `{s}`"))?;
+                let branch: usize = match parts.next() {
+                    Some(b) => b
+                        .parse()
+                        .map_err(|_| format!("invalid beam branch in `{s}`"))?,
+                    None => 4,
+                };
+                if width == 0 || branch == 0 || parts.next().is_some() {
+                    return Err(format!("invalid beam configuration `{s}`"));
+                }
+                Ok(Scheduler::Beam { width, branch })
+            }
+            "local" => {
+                let iterations: usize = parts
+                    .next()
+                    .ok_or_else(|| "local needs a proposal count: local:<iterations>".to_string())?
+                    .parse()
+                    .map_err(|_| format!("invalid iteration count in `{s}`"))?;
+                if parts.next().is_some() {
+                    return Err(format!("trailing components in scheduler `{s}`"));
+                }
+                Ok(Scheduler::Local { iterations })
+            }
+            other => Err(format!(
+                "unknown scheduler `{other}` (expected baseline, greedy:<policy>:<order>, \
+                 beam:<width>[:<branch>] or local:<iterations>)"
+            )),
         }
     }
 }
@@ -228,6 +323,44 @@ mod tests {
             Scheduler::Local { iterations: 200 }.to_string(),
             "local:200"
         );
+    }
+
+    #[test]
+    fn parsing_roundtrips_display_names() {
+        for s in default_suite() {
+            let parsed = s.to_string().parse::<Scheduler>().unwrap();
+            match (parsed, s) {
+                // The display form `beam:<width>` intentionally omits the
+                // branch; parsing restores the default branch instead.
+                (Scheduler::Beam { width: pw, .. }, Scheduler::Beam { width, .. }) => {
+                    assert_eq!(pw, width);
+                }
+                (parsed, s) => assert_eq!(parsed, s),
+            }
+        }
+        assert_eq!(
+            "beam:8:4".parse::<Scheduler>().unwrap(),
+            Scheduler::Beam {
+                width: 8,
+                branch: 4
+            }
+        );
+        assert_eq!(
+            "local:120".parse::<Scheduler>().unwrap(),
+            Scheduler::Local { iterations: 120 }
+        );
+        for bad in [
+            "",
+            "greedy",
+            "greedy:belady",
+            "greedy:belady:dfs:extra",
+            "beam:0",
+            "beam:x",
+            "local:y",
+            "annealing:3",
+        ] {
+            assert!(bad.parse::<Scheduler>().is_err(), "{bad} should not parse");
+        }
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! `prbp` — schedule and certify DAG workloads from the command line.
+//!
+//! Subcommands:
+//!
+//! * `prbp gen` — generate a paper DAG family (FFT, matmul, attention, tree,
+//!   random layered, fig1) in any interchange format;
+//! * `prbp schedule` — read a DAG (edge-list / DOT subset / JSON), schedule
+//!   it under RBP or PRBP and emit a certified [`ScheduleReport`] as JSON.
+//!   Greedy schedulers run through the *streaming* pipeline: the move
+//!   sequence is validated and certified as it is produced, never stored, so
+//!   million-node DAGs run in memory proportional to the graph itself;
+//! * `prbp bound` — evaluate the admissible lower-bound ladder only;
+//! * `prbp convert` — translate between the interchange formats.
+//!
+//! Exit codes: 0 success, 1 runtime/parse error, 2 usage error.
+
+use pebble_dag::{generators, Dag};
+use pebble_io::Format;
+use pebble_sched::{
+    best_prbp, certify_greedy_prbp, certify_greedy_rbp, certify_prbp_with, certify_rbp_with,
+    default_suite, prbp_bound_ladder, rbp_bound_ladder, BoundSet, BoundValue, ScheduleReport,
+    Scheduler,
+};
+use std::collections::HashMap;
+use std::io::Read;
+
+const USAGE: &str = "prbp — schedule and certify DAG workloads in the (P)RBP pebble games
+
+USAGE:
+  prbp gen --family <name> [family options] [--format F] [--out PATH]
+      families:
+        fft        --m <points>                  (m-point FFT butterfly)
+        matmul     --m1 <n> --m2 <n> --m3 <n>    (matrix multiplication)
+        attention  --m <rows> --d <cols>         (Q.K^T attention)
+        tree       --depth <d>                   (binary reduction tree)
+        random     --layers <n> --width <n> [--max-in <n>] [--seed <n>]
+        fig1                                     (the paper's Figure 1 DAG)
+  prbp schedule --input PATH --r <cache> [--model prbp|rbp] [--format F]
+                [--scheduler S] [--bounds fast|full|auto] [--out PATH]
+      S: greedy:<belady|lru|fewest>:<natural|dfs> (default greedy:belady:dfs,
+         streaming), beam:<width>[:<branch>], local:<iterations>, baseline,
+         or `suite` (best of the default portfolio; materialises traces)
+  prbp bound --input PATH --r <cache> [--model prbp|rbp] [--format F]
+             [--bounds fast|full|auto] [--out PATH]
+  prbp convert --input PATH --out PATH [--from F] [--to F]
+
+  F: edgelist | dot | json (default: by file extension, else sniffed;
+     `--input -` reads stdin)
+";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{USAGE}");
+        return if argv.is_empty() { 2 } else { 0 };
+    }
+    let cmd = argv[0].clone();
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => return usage_error(&e),
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "schedule" => cmd_schedule(&args),
+        "bound" => cmd_bound(&args),
+        "convert" => cmd_convert(&args),
+        other => return usage_error(&format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(CliError::Usage(msg)) => usage_error(&msg),
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            1
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    2
+}
+
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
+}
+
+/// `--key value` / `--key=value` flag parser; every flag takes a value.
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}`"));
+            };
+            let (key, value) = match key.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    (key.to_string(), v.clone())
+                }
+            };
+            if flags.insert(key.clone(), value).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| usage(format!("missing required flag --{key}")))
+    }
+
+    fn parse_usize(&self, key: &str) -> Result<Option<usize>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| usage(format!("--{key} expects a non-negative integer, got `{v}`"))),
+        }
+    }
+
+    fn require_usize(&self, key: &str) -> Result<usize, CliError> {
+        self.require(key)?;
+        Ok(self.parse_usize(key)?.expect("checked by require"))
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        Ok(self.parse_usize(key)?.unwrap_or(default))
+    }
+
+    /// Reject flags this subcommand does not know (catches typos early).
+    fn check_known(&self, known: &[&str]) -> Result<(), CliError> {
+        for key in self.flags.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(usage(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolve a format from an explicit flag, a path's extension, or content.
+fn resolve_format(
+    explicit: Option<&str>,
+    path: Option<&str>,
+    content: Option<&str>,
+) -> Result<Format, CliError> {
+    if let Some(f) = explicit {
+        return f.parse::<Format>().map_err(usage);
+    }
+    if let Some(p) = path {
+        if p != "-" {
+            if let Some(f) = Format::from_path(p) {
+                return Ok(f);
+            }
+        }
+    }
+    match content {
+        Some(text) => Ok(Format::sniff(text)),
+        None => Err(usage(
+            "cannot infer a format from the file extension; pass --format",
+        )),
+    }
+}
+
+fn read_input(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| runtime(format!("reading stdin: {e}")))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("{path}: {e}")))
+    }
+}
+
+fn write_output(out: Option<&str>, text: &str) -> Result<(), CliError> {
+    match out {
+        None | Some("-") => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, text).map_err(|e| runtime(format!("{path}: {e}"))),
+    }
+}
+
+fn load_dag(args: &Args) -> Result<(Dag, Format, String), CliError> {
+    let path = args.require("input")?.to_string();
+    let text = read_input(&path)?;
+    let format = resolve_format(args.get("format"), Some(&path), Some(&text))?;
+    let dag = pebble_io::parse(&text, format).map_err(|e| runtime(format!("{path}: {e}")))?;
+    Ok((dag, format, path))
+}
+
+fn bound_set(args: &Args, dag: &Dag) -> Result<BoundSet, CliError> {
+    match args.get("bounds").unwrap_or("auto") {
+        "fast" => Ok(BoundSet::Fast),
+        "full" => Ok(BoundSet::Full),
+        "auto" => Ok(BoundSet::auto_for(dag)),
+        other => Err(usage(format!(
+            "--bounds expects fast, full or auto, got `{other}`"
+        ))),
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
+    args.check_known(&[
+        "family", "m", "d", "m1", "m2", "m3", "depth", "layers", "width", "max-in", "seed",
+        "format", "out",
+    ])?;
+    let family = args.require("family")?;
+    // Validate parameters up-front: the generators enforce their invariants
+    // with `assert!`, and a panic (exit 101) is not part of this tool's
+    // documented exit-code contract.
+    let dag = match family {
+        "fft" => {
+            let m = args.usize_or("m", 1024)?;
+            if m < 2 || !m.is_power_of_two() {
+                return Err(usage(format!("--m must be a power of two >= 2, got {m}")));
+            }
+            generators::fft(m).dag
+        }
+        "matmul" => {
+            let (m1, m2, m3) = (
+                args.usize_or("m1", 8)?,
+                args.usize_or("m2", 8)?,
+                args.usize_or("m3", 8)?,
+            );
+            if m1 == 0 || m2 == 0 || m3 == 0 {
+                return Err(usage("--m1/--m2/--m3 must all be >= 1"));
+            }
+            generators::matmul(m1, m2, m3).dag
+        }
+        "attention" => {
+            let (m, d) = (args.usize_or("m", 64)?, args.usize_or("d", 16)?);
+            if m == 0 || d == 0 {
+                return Err(usage("--m and --d must be >= 1"));
+            }
+            generators::attention_qk(m, d).dag
+        }
+        "tree" => {
+            let depth = args.usize_or("depth", 8)?;
+            if depth == 0 {
+                return Err(usage("--depth must be >= 1"));
+            }
+            generators::binary_tree(depth)
+        }
+        "random" => {
+            let (layers, width, max_in) = (
+                args.usize_or("layers", 8)?,
+                args.usize_or("width", 32)?,
+                args.usize_or("max-in", 3)?,
+            );
+            if layers < 2 || width == 0 || max_in == 0 {
+                return Err(usage(
+                    "random needs --layers >= 2, --width >= 1 and --max-in >= 1",
+                ));
+            }
+            generators::random_layered(generators::RandomLayeredConfig {
+                layers,
+                width,
+                max_in_degree: max_in,
+                seed: args.usize_or("seed", 0)? as u64,
+            })
+        }
+        "fig1" => generators::fig1_full().dag,
+        other => {
+            return Err(usage(format!(
+                "unknown family `{other}` (expected fft, matmul, attention, tree, random or fig1)"
+            )))
+        }
+    };
+    // An explicit --format must parse; only a failed *inference* (no flag,
+    // no recognisable extension) falls back to the edge-list default.
+    let format = match args.get("format") {
+        Some(f) => f.parse::<Format>().map_err(usage)?,
+        None => args
+            .get("out")
+            .filter(|p| *p != "-")
+            .and_then(Format::from_path)
+            .unwrap_or(Format::EdgeList),
+    };
+    eprintln!(
+        "generated {family}: {} nodes, {} edges ({format})",
+        dag.node_count(),
+        dag.edge_count()
+    );
+    write_output(args.get("out"), &pebble_io::write(&dag, format))
+}
+
+use pebble_io::json::escape as json_escape;
+
+/// Serialise the schedule output document: input metadata, the certified
+/// report, and the gap as a top-level convenience field.
+fn schedule_doc(path: &str, format: Format, dag: &Dag, report: &ScheduleReport) -> String {
+    let report_json = serde_json::to_string(report).expect("report serialises");
+    format!(
+        "{{\"input\":{{\"path\":\"{}\",\"format\":\"{}\",\"nodes\":{},\"edges\":{}}},\"report\":{},\"gap\":{:.4}}}\n",
+        json_escape(path),
+        format.name(),
+        dag.node_count(),
+        dag.edge_count(),
+        report_json,
+        report.gap()
+    )
+}
+
+fn cmd_schedule(args: &Args) -> Result<(), CliError> {
+    args.check_known(&[
+        "input",
+        "format",
+        "r",
+        "model",
+        "scheduler",
+        "bounds",
+        "out",
+    ])?;
+    let (dag, format, path) = load_dag(args)?;
+    let r = args.require_usize("r")?;
+    let model = args.get("model").unwrap_or("prbp");
+    let set = bound_set(args, &dag)?;
+    let sched_name = args.get("scheduler").unwrap_or("greedy:belady:dfs");
+
+    let report = if sched_name == "suite" {
+        if model != "prbp" {
+            return Err(usage("--scheduler suite is PRBP-only"));
+        }
+        let (scheduler, trace, _) = best_prbp(&dag, r, &default_suite())
+            .ok_or_else(|| runtime(format!("no scheduler in the suite can handle r = {r}")))?;
+        certify_prbp_with(&dag, r, &trace, scheduler.to_string(), set)
+            .map_err(|e| runtime(format!("certification failed: {e}")))?
+    } else {
+        let scheduler: Scheduler = sched_name.parse().map_err(|e: String| usage(e))?;
+        match (scheduler, model) {
+            // Greedy schedulers go through the streaming pipeline: moves are
+            // certified as they are emitted and never materialised.
+            (Scheduler::Greedy { policy, order }, "prbp") => {
+                let ord = order.build(&dag);
+                certify_greedy_prbp(&dag, r, &ord, policy.build().as_mut(), sched_name, set)
+                    .ok_or_else(|| runtime(format!("r = {r} is too small (PRBP needs r >= 2)")))?
+                    .map_err(|e| runtime(format!("certification failed: {e}")))?
+            }
+            (Scheduler::Greedy { policy, order }, "rbp") => {
+                let ord = order.build(&dag);
+                certify_greedy_rbp(&dag, r, &ord, policy.build().as_mut(), sched_name, set)
+                    .ok_or_else(|| {
+                        runtime(format!(
+                            "r = {r} is too small (RBP needs r >= max in-degree + 1 = {})",
+                            dag.max_in_degree() + 1
+                        ))
+                    })?
+                    .map_err(|e| runtime(format!("certification failed: {e}")))?
+            }
+            (s, "prbp") => {
+                let trace = s.run_prbp(&dag, r).ok_or_else(|| {
+                    runtime(format!(
+                        "scheduler `{s}` cannot handle this instance at r = {r}"
+                    ))
+                })?;
+                certify_prbp_with(&dag, r, &trace, sched_name, set)
+                    .map_err(|e| runtime(format!("certification failed: {e}")))?
+            }
+            (s, "rbp") => {
+                let trace = s.run_rbp(&dag, r).ok_or_else(|| {
+                    runtime(format!(
+                        "scheduler `{s}` cannot handle this instance in RBP at r = {r}"
+                    ))
+                })?;
+                certify_rbp_with(&dag, r, &trace, sched_name, set)
+                    .map_err(|e| runtime(format!("certification failed: {e}")))?
+            }
+            (_, other) => return Err(usage(format!("--model expects prbp or rbp, got `{other}`"))),
+        }
+    };
+
+    eprintln!(
+        "{}: {} nodes, {} edges | {} r={} cost={} best_bound={} gap={:.2}x",
+        path,
+        dag.node_count(),
+        dag.edge_count(),
+        report.scheduler,
+        r,
+        report.cost,
+        report.best_bound,
+        report.gap()
+    );
+    write_output(args.get("out"), &schedule_doc(&path, format, &dag, &report))
+}
+
+fn cmd_bound(args: &Args) -> Result<(), CliError> {
+    args.check_known(&["input", "format", "r", "model", "bounds", "out"])?;
+    let (dag, _, path) = load_dag(args)?;
+    let r = args.require_usize("r")?;
+    let set = bound_set(args, &dag)?;
+    let model = args.get("model").unwrap_or("prbp");
+    let (bounds, best): (Vec<BoundValue>, usize) = match model {
+        "prbp" => prbp_bound_ladder(&dag, r, set),
+        "rbp" => rbp_bound_ladder(&dag, r, set),
+        other => return Err(usage(format!("--model expects prbp or rbp, got `{other}`"))),
+    };
+    let bounds_json = serde_json::to_string(&bounds).expect("bounds serialise");
+    let doc = format!(
+        "{{\"input\":\"{}\",\"model\":\"{model}\",\"r\":{r},\"bounds\":{bounds_json},\"best_bound\":{best}}}\n",
+        json_escape(&path)
+    );
+    write_output(args.get("out"), &doc)
+}
+
+fn cmd_convert(args: &Args) -> Result<(), CliError> {
+    args.check_known(&["input", "out", "from", "to"])?;
+    let path = args.require("input")?.to_string();
+    let text = read_input(&path)?;
+    let from = resolve_format(args.get("from"), Some(&path), Some(&text))?;
+    let dag = pebble_io::parse(&text, from).map_err(|e| runtime(format!("{path}: {e}")))?;
+    let out = args.require("out")?.to_string();
+    // This subcommand's format flags are --from/--to, so the generic
+    // "pass --format" advice of resolve_format would send users to a flag
+    // convert rejects.
+    let to = match args.get("to") {
+        Some(f) => f.parse::<Format>().map_err(usage)?,
+        None => Format::from_path(&out)
+            .ok_or_else(|| usage("cannot infer the output format from `--out`; pass --to"))?,
+    };
+    eprintln!(
+        "{path} ({from}) -> {out} ({to}): {} nodes, {} edges",
+        dag.node_count(),
+        dag.edge_count()
+    );
+    write_output(Some(&out), &pebble_io::write(&dag, to))
+}

@@ -16,6 +16,10 @@
 //!   eviction policies, packed-state beam search, local-search refinement)
 //!   that pebble DAGs far beyond exact reach and certify an optimality gap
 //!   against the admissible lower bounds.
+//! * [`io`] — DAG interchange (whitespace edge-list, DOT digraph subset,
+//!   JSON node/edge document) with line-precise parse errors, so external
+//!   workloads can be scheduled and certified; driven from the command line
+//!   by the `prbp` binary (`prbp gen | schedule | bound | convert`).
 //!
 //! ## Quickstart
 //!
@@ -93,4 +97,5 @@ pub use pebble_bounds as bounds;
 pub use pebble_dag as dag;
 pub use pebble_game as game;
 pub use pebble_hardness as hardness;
+pub use pebble_io as io;
 pub use pebble_sched as sched;
