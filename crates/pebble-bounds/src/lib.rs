@@ -15,6 +15,10 @@
 //! * [`heuristics`] — the partition bounds repackaged as admissible A*
 //!   heuristics ([`pebble_game::exact::LowerBound`]) that accelerate the
 //!   exact solvers instead of merely verifying their results.
+//! * [`compose`] — composable lower bounds: per-component admissible bounds
+//!   summed with boundary-credit corrections, admissible for *any* node
+//!   partition; the certification counterpart of decomposition-based
+//!   scheduling.
 //! * [`counterexample`] — the Lemma 5.4 analysis showing that the classic
 //!   S-partition bound fails for PRBP.
 //! * [`analytic`] — closed-form lower bounds for FFT (Theorem 6.9), matrix
@@ -23,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub mod analytic;
+pub mod compose;
 pub mod counterexample;
 pub mod from_pebbling;
 pub mod heuristics;
@@ -30,6 +35,7 @@ pub mod s_edge_partition;
 pub mod s_partition;
 pub mod terminal;
 
+pub use compose::{composed_prbp_bound, composed_rbp_bound, ComposedBound};
 pub use heuristics::{SDominatorHeuristic, SEdgeHeuristic};
 pub use s_edge_partition::SEdgePartition;
 pub use s_partition::{SDominatorPartition, SPartition};

@@ -1,0 +1,1222 @@
+//! Structure detection and DAG decomposition.
+//!
+//! The paper's near-optimal strategies (blocked FFT, tiled matmul, streaming
+//! attention) all exploit the same fact: large computational DAGs decompose
+//! into components that can be scheduled (almost) independently, paying I/O
+//! only for the values that cross component boundaries. This module detects
+//! and extracts that structure *generically*, from the graph alone:
+//!
+//! * [`Strategy::Wcc`] — weakly connected components: fully independent
+//!   sub-DAGs with no boundary at all.
+//! * [`Strategy::LevelBands`] — cut the level structure into bands of
+//!   consecutive levels and split each band into its weakly connected
+//!   pieces. On the FFT butterfly, bands of `h` levels shatter into
+//!   independent `2^h`-wide sub-butterflies — exactly the paper's blocked
+//!   strategy.
+//! * [`Strategy::SinkCones`] — when every internal (non-source, non-sink)
+//!   node has out-degree 1, every non-source node belongs to the *cone* of a
+//!   unique sink; cones are pairwise edge-disjoint and interact only through
+//!   shared sources. Merging cones that share many sources yields the tiles
+//!   of the paper's tiled matmul / streaming attention strategies.
+//! * [`Strategy::Whole`] — the trivial single-component decomposition.
+//!
+//! Every decomposition is a *partition* of (a subset of) the nodes into
+//! [`Component`]s listed in a topological order of the component quotient,
+//! with explicit boundary sets (`inputs` / `outputs`) and the [`cut
+//! edges`](Decomposition::cut_edges) crossing between parts. Global sources
+//! that serve several components (the shared matrices of a tiling) may stay
+//! unassigned ([`Decomposition::shared_sources`]); they need no schedule of
+//! their own — each consumer loads them on demand.
+//!
+//! [`classify`] names the shape of a sub-DAG (chain, in-/out-tree,
+//! two-terminal series-parallel via the standard reduction recognition,
+//! …), and [`extract_component`] materialises a component plus its boundary
+//! inputs as a standalone [`Dag`] for scheduling.
+
+use crate::bitset::BitSet;
+use crate::graph::{Dag, DagBuilder};
+use crate::ids::{EdgeId, NodeId};
+use crate::topo;
+use std::collections::HashMap;
+
+/// The recognised shape of a component's node-induced sub-DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// A simple directed path.
+    Chain,
+    /// Every node has in-degree ≤ 1 (a rooted forest fanning out).
+    OutTree,
+    /// Every node has out-degree ≤ 1 (a reduction forest fanning in).
+    InTree,
+    /// A two-terminal series-parallel DAG (single source, single sink,
+    /// reducible to one edge by series/parallel reductions).
+    SeriesParallel,
+    /// A union of sink cones glued by shared inputs (a tile).
+    Cone,
+    /// A weakly connected slice of a level band.
+    Band,
+    /// No special structure detected.
+    General,
+}
+
+impl ComponentKind {
+    /// Stable lowercase name for tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentKind::Chain => "chain",
+            ComponentKind::OutTree => "out-tree",
+            ComponentKind::InTree => "in-tree",
+            ComponentKind::SeriesParallel => "series-parallel",
+            ComponentKind::Cone => "cone",
+            ComponentKind::Band => "band",
+            ComponentKind::General => "general",
+        }
+    }
+}
+
+/// One part of a [`Decomposition`]: a set of member nodes plus its boundary.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Member nodes, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Shape of the member-induced sub-DAG.
+    pub kind: ComponentKind,
+    /// Boundary inputs: non-member nodes with an edge into a member,
+    /// ascending. When the component is scheduled on its own these become
+    /// sources of the extracted sub-DAG.
+    pub inputs: Vec<NodeId>,
+    /// Boundary outputs: member nodes with an edge leaving the component,
+    /// ascending. Their values must survive (be saved) past the component's
+    /// schedule.
+    pub outputs: Vec<NodeId>,
+}
+
+/// How to split the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One component containing every node.
+    Whole,
+    /// Weakly connected components.
+    Wcc,
+    /// Bands of consecutive levels, split into pieces connected either
+    /// directly or through a shared boundary input (so every value crossing
+    /// the cut is loaded by exactly one piece); bands grow level by level
+    /// while every piece (including its boundary inputs) stays within
+    /// `max_nodes`.
+    LevelBands {
+        /// Size cap per component (members + boundary inputs).
+        max_nodes: usize,
+    },
+    /// Sink cones merged into tiles by shared-input affinity. Only
+    /// applicable when every internal node has out-degree 1.
+    SinkCones {
+        /// Size cap per tile (members + boundary inputs).
+        max_nodes: usize,
+        /// Cap on sinks per tile: every unsaved sink of a tile is a live
+        /// accumulator during its schedule, so this bounds the working set
+        /// a cache of size `r` must hold (callers typically pass `~3r/4`).
+        max_sinks: usize,
+    },
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Strategy::Whole => write!(f, "whole"),
+            Strategy::Wcc => write!(f, "wcc"),
+            Strategy::LevelBands { max_nodes } => write!(f, "bands:{max_nodes}"),
+            Strategy::SinkCones {
+                max_nodes,
+                max_sinks,
+            } => write!(f, "cones:{max_nodes}:{max_sinks}"),
+        }
+    }
+}
+
+/// The recursive structure of a decomposition: which split produced which
+/// leaf components.
+#[derive(Debug, Clone)]
+pub enum DecompTree {
+    /// A leaf: index into [`Decomposition::components`].
+    Leaf(usize),
+    /// An internal split node.
+    Split {
+        /// What kind of split this node performed.
+        kind: SplitKind,
+        /// The parts, in the same order as the components they contain.
+        parts: Vec<DecompTree>,
+    },
+}
+
+/// The kind of split performed by a [`DecompTree::Split`] node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// Split into weakly connected components.
+    Connectivity,
+    /// Split into bands of consecutive levels.
+    Bands,
+    /// Split into tiles of merged sink cones.
+    Tiles,
+}
+
+/// A decomposition of the DAG into independently schedulable components.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The strategy that produced this decomposition.
+    pub strategy: Strategy,
+    /// The components, in a topological order of the component quotient:
+    /// every cut edge goes from an earlier component (or a shared source) to
+    /// a later one, so the components can be scheduled in listed order.
+    pub components: Vec<Component>,
+    /// Edges whose endpoints do not belong to the same component (including
+    /// edges out of [`Decomposition::shared_sources`]), ascending.
+    pub cut_edges: Vec<EdgeId>,
+    /// Source nodes assigned to no component (inputs shared between several
+    /// components, e.g. the matrices of a tiling). Always global sources.
+    pub shared_sources: Vec<NodeId>,
+    /// The split structure that produced the components.
+    pub tree: DecompTree,
+}
+
+impl Decomposition {
+    /// Total number of member nodes across all components.
+    pub fn assigned_nodes(&self) -> usize {
+        self.components.iter().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Size of the largest component (members + boundary inputs).
+    pub fn max_component_size(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| c.nodes.len() + c.inputs.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Decompose `dag` with `strategy`. Returns `None` when the strategy does
+/// not apply ([`Strategy::SinkCones`] on a DAG with an internal node of
+/// out-degree ≥ 2).
+pub fn decompose(dag: &Dag, strategy: Strategy) -> Option<Decomposition> {
+    match strategy {
+        Strategy::Whole => Some(whole(dag)),
+        Strategy::Wcc => Some(wcc(dag)),
+        Strategy::LevelBands { max_nodes } => Some(level_bands(dag, max_nodes)),
+        Strategy::SinkCones {
+            max_nodes,
+            max_sinks,
+        } => sink_cones(dag, max_nodes, max_sinks),
+    }
+}
+
+/// Classify the shape of the sub-DAG induced by `members` (which must be
+/// sorted ascending). Degree tests (chain / trees) are exact; the
+/// series-parallel reduction is attempted on connected single-source,
+/// single-sink shapes up to a few thousand nodes.
+pub fn classify(dag: &Dag, members: &[NodeId]) -> ComponentKind {
+    let mut in_set = dag.node_set();
+    for &v in members {
+        in_set.insert(v.index());
+    }
+    let ind = |v: NodeId| {
+        dag.predecessors(v)
+            .filter(|u| in_set.contains(u.index()))
+            .count()
+    };
+    let outd = |v: NodeId| {
+        dag.successors(v)
+            .filter(|w| in_set.contains(w.index()))
+            .count()
+    };
+    let max_in = members.iter().map(|&v| ind(v)).max().unwrap_or(0);
+    let max_out = members.iter().map(|&v| outd(v)).max().unwrap_or(0);
+    if max_in <= 1 && max_out <= 1 {
+        return ComponentKind::Chain;
+    }
+    if max_in <= 1 {
+        return ComponentKind::OutTree;
+    }
+    if max_out <= 1 {
+        return ComponentKind::InTree;
+    }
+    let srcs = members.iter().filter(|&&v| ind(v) == 0).count();
+    let sinks = members.iter().filter(|&&v| outd(v) == 0).count();
+    if srcs == 1 && sinks == 1 && members.len() <= 4096 {
+        // Build the induced sub-DAG and run the reduction recognition.
+        let local: HashMap<NodeId, usize> =
+            members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut edges = Vec::new();
+        for &v in members {
+            for w in dag.successors(v) {
+                if let Some(&wl) = local.get(&w) {
+                    edges.push((local[&v], wl));
+                }
+            }
+        }
+        if is_series_parallel_edges(members.len(), &edges) {
+            return ComponentKind::SeriesParallel;
+        }
+    }
+    ComponentKind::General
+}
+
+/// Returns `true` if `dag` is a two-terminal series-parallel DAG: a single
+/// source, a single sink, and reducible to one edge by exhaustively applying
+/// *series* reductions (bypass a vertex with exactly one in- and one
+/// out-neighbour) and *parallel* reductions (merge parallel edges). The
+/// reduction system is confluent, so one exhaustive pass decides membership.
+pub fn is_series_parallel(dag: &Dag) -> bool {
+    if dag.sources().len() != 1 || dag.sinks().len() != 1 {
+        return false;
+    }
+    let edges: Vec<(usize, usize)> = dag
+        .edges()
+        .map(|e| {
+            let (u, v) = dag.edge_endpoints(e);
+            (u.index(), v.index())
+        })
+        .collect();
+    is_series_parallel_edges(dag.node_count(), &edges)
+}
+
+/// Reduction recognition over an explicit edge list on nodes `0..n`.
+/// Parallel edges produced by series reductions merge immediately (set
+/// adjacency), so a vertex is series-reducible exactly when it has one
+/// distinct in-neighbour and one distinct out-neighbour.
+fn is_series_parallel_edges(n: usize, edges: &[(usize, usize)]) -> bool {
+    if n == 1 {
+        return edges.is_empty();
+    }
+    let mut out: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    let mut inn: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    for &(u, v) in edges {
+        out[u].insert(v);
+        inn[v].insert(u);
+    }
+    let mut alive = n;
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&v| inn[v].len() == 1 && out[v].len() == 1)
+        .collect();
+    let mut queued = vec![false; n];
+    for &v in &queue {
+        queued[v] = true;
+    }
+    let mut removed = vec![false; n];
+    while let Some(v) = queue.pop() {
+        queued[v] = false;
+        if removed[v] || inn[v].len() != 1 || out[v].len() != 1 {
+            continue;
+        }
+        let u = *inn[v].iter().next().expect("one in-neighbour");
+        let w = *out[v].iter().next().expect("one out-neighbour");
+        // u -> v -> w becomes u -> w; a pre-existing u -> w edge absorbs it
+        // (parallel reduction).
+        removed[v] = true;
+        alive -= 1;
+        out[u].remove(&v);
+        inn[w].remove(&v);
+        out[u].insert(w);
+        inn[w].insert(u);
+        for x in [u, w] {
+            if !removed[x] && inn[x].len() == 1 && out[x].len() == 1 && !queued[x] {
+                queued[x] = true;
+                queue.push(x);
+            }
+        }
+    }
+    if alive != 2 {
+        return false;
+    }
+    let survivors: Vec<usize> = (0..n).filter(|&v| !removed[v]).collect();
+    let (s, t) = (survivors[0], survivors[1]);
+    // Exactly the edge s -> t (or t -> s) must remain.
+    (out[s].len() == 1 && out[s].contains(&t) && inn[s].is_empty() && out[t].is_empty())
+        || (out[t].len() == 1 && out[t].contains(&s) && inn[t].is_empty() && out[s].is_empty())
+}
+
+/// Assemble a `Decomposition` from a member partition: computes boundaries,
+/// cut edges and per-component kinds. `parts` must be disjoint, each sorted
+/// ascending, and listed in quotient-topological order. `kind_hint`
+/// overrides classification for non-tree shapes (bands stay "band", tiles
+/// stay "cone") while genuinely recognised shapes keep their name.
+fn assemble(
+    dag: &Dag,
+    strategy: Strategy,
+    parts: Vec<Vec<NodeId>>,
+    kind_hint: Option<ComponentKind>,
+    tree: impl FnOnce(&[Component]) -> DecompTree,
+) -> Decomposition {
+    let n = dag.node_count();
+    let mut owner: Vec<u32> = vec![u32::MAX; n];
+    for (i, part) in parts.iter().enumerate() {
+        for &v in part {
+            owner[v.index()] = i as u32;
+        }
+    }
+    let mut components = Vec::with_capacity(parts.len());
+    for part in &parts {
+        let idx = owner[part[0].index()];
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut seen_inputs = BitSet::new(n);
+        for &v in part {
+            for u in dag.predecessors(v) {
+                if owner[u.index()] != idx && !seen_inputs.contains(u.index()) {
+                    seen_inputs.insert(u.index());
+                    inputs.push(u);
+                }
+            }
+            if dag.successors(v).any(|w| owner[w.index()] != idx) {
+                outputs.push(v);
+            }
+        }
+        inputs.sort();
+        let kind = match kind_hint {
+            Some(hint) => {
+                let detected = classify(dag, part);
+                if detected == ComponentKind::General {
+                    hint
+                } else {
+                    detected
+                }
+            }
+            None => classify(dag, part),
+        };
+        components.push(Component {
+            nodes: part.clone(),
+            kind,
+            inputs,
+            outputs,
+        });
+    }
+    let cut_edges: Vec<EdgeId> = dag
+        .edges()
+        .filter(|&e| {
+            let (u, v) = dag.edge_endpoints(e);
+            owner[u.index()] == u32::MAX || owner[u.index()] != owner[v.index()]
+        })
+        .collect();
+    let shared_sources: Vec<NodeId> = dag
+        .nodes()
+        .filter(|&v| owner[v.index()] == u32::MAX)
+        .collect();
+    debug_assert!(shared_sources.iter().all(|&v| dag.is_source(v)));
+    let tree = tree(&components);
+    Decomposition {
+        strategy,
+        components,
+        cut_edges,
+        shared_sources,
+        tree,
+    }
+}
+
+fn whole(dag: &Dag) -> Decomposition {
+    let all: Vec<NodeId> = dag.nodes().collect();
+    assemble(dag, Strategy::Whole, vec![all], None, |_| {
+        DecompTree::Leaf(0)
+    })
+}
+
+/// Weakly connected components via union-find, listed by smallest member id.
+fn wcc(dag: &Dag) -> Decomposition {
+    let n = dag.node_count();
+    let mut uf = UnionFind::new(n);
+    for e in dag.edges() {
+        let (u, v) = dag.edge_endpoints(e);
+        uf.union(u.index(), v.index());
+    }
+    let parts = uf.groups(dag.nodes());
+    assemble(dag, Strategy::Wcc, parts, None, |comps| DecompTree::Split {
+        kind: SplitKind::Connectivity,
+        parts: (0..comps.len()).map(DecompTree::Leaf).collect(),
+    })
+}
+
+/// Band the level structure: grow each band level by level while every
+/// weakly connected piece of the band (counting the band's boundary inputs)
+/// stays within `max_nodes`; a band always contains at least one level.
+/// Sources (level 0) join the band of their earliest consumer, so every
+/// component's extracted sub-DAG has at least one edge per member.
+fn level_bands(dag: &Dag, max_nodes: usize) -> Decomposition {
+    let levels = topo::levels(dag);
+    let depth = levels.iter().copied().max().unwrap_or(0);
+    let n = dag.node_count();
+    // Nodes by level, sources remapped to their earliest consumer's level.
+    let mut effective = vec![0usize; n];
+    for v in dag.nodes() {
+        effective[v.index()] = if dag.is_source(v) {
+            dag.successors(v)
+                .map(|w| levels[w.index()])
+                .min()
+                .expect("no isolated nodes")
+        } else {
+            levels[v.index()]
+        };
+    }
+    let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); depth + 1];
+    for v in dag.nodes() {
+        by_level[effective[v.index()]].push(v);
+    }
+
+    // Greedy band growth. Piece sizes are re-derived per tentative
+    // extension; boundary inputs (predecessors in earlier bands) count
+    // toward the cap because they are part of the extracted sub-DAG a
+    // scheduler must handle.
+    let mut bands: Vec<Vec<NodeId>> = Vec::new();
+    let mut start = 1usize.min(depth); // level 0 holds only remapped sources
+    while start <= depth {
+        let mut end = start; // inclusive
+        loop {
+            if end + 1 > depth {
+                break;
+            }
+            if max_piece_size(dag, &by_level, start, end + 1) > max_nodes {
+                break;
+            }
+            end += 1;
+        }
+        let mut band: Vec<NodeId> = Vec::new();
+        for level in &by_level[(if start == 1 { 0 } else { start })..=end] {
+            band.extend(level.iter().copied());
+        }
+        band.sort();
+        bands.push(band);
+        start = end + 1;
+    }
+    if bands.is_empty() {
+        // depth == 0 is impossible for a valid Dag (it has at least one
+        // edge), but stay total.
+        return whole(dag);
+    }
+
+    // Split each band into pieces, gluing through shared boundary inputs:
+    // two band nodes consuming the same earlier-band value belong together,
+    // so every crossing value is loaded by exactly one piece. (On the FFT
+    // this is what re-aligns each band's blocks with the stage crossing the
+    // cut — the structure the paper's blocked strategy exploits.)
+    let mut parts: Vec<Vec<NodeId>> = Vec::new();
+    let mut band_part_counts = Vec::with_capacity(bands.len());
+    for band in &bands {
+        let groups = band_pieces(dag, band).0;
+        band_part_counts.push(groups.len());
+        parts.extend(groups);
+    }
+    let strategy = Strategy::LevelBands { max_nodes };
+    assemble(dag, strategy, parts, Some(ComponentKind::Band), |_| {
+        let mut next = 0usize;
+        let band_parts: Vec<DecompTree> = band_part_counts
+            .iter()
+            .map(|&count| {
+                let leaves: Vec<DecompTree> = (next..next + count).map(DecompTree::Leaf).collect();
+                next += count;
+                DecompTree::Split {
+                    kind: SplitKind::Connectivity,
+                    parts: leaves,
+                }
+            })
+            .collect();
+        DecompTree::Split {
+            kind: SplitKind::Bands,
+            parts: band_parts,
+        }
+    })
+}
+
+/// The pieces of one band: groups of band nodes connected directly or
+/// through a shared boundary input, together with the piece sizes counting
+/// members plus *distinct* boundary inputs.
+fn band_pieces(dag: &Dag, band: &[NodeId]) -> (Vec<Vec<NodeId>>, Vec<usize>) {
+    let local: HashMap<NodeId, usize> = band.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // Boundary inputs get union-find slots after the band members.
+    let mut input_slot: HashMap<NodeId, usize> = HashMap::new();
+    let mut slots = band.len();
+    for &v in band {
+        for u in dag.predecessors(v) {
+            if !local.contains_key(&u) && !input_slot.contains_key(&u) {
+                input_slot.insert(u, slots);
+                slots += 1;
+            }
+        }
+    }
+    let mut uf = UnionFind::new(slots);
+    for (i, &v) in band.iter().enumerate() {
+        for u in dag.predecessors(v) {
+            let us = local.get(&u).copied().unwrap_or_else(|| input_slot[&u]);
+            uf.union(i, us);
+        }
+    }
+    let mut groups: HashMap<usize, (Vec<NodeId>, usize)> = HashMap::new();
+    for (i, &v) in band.iter().enumerate() {
+        let root = uf.find(i);
+        let entry = groups.entry(root).or_default();
+        entry.0.push(v);
+        entry.1 += 1;
+    }
+    for &slot in input_slot.values() {
+        let root = uf.find(slot);
+        // Inputs whose consumers all left the band cannot occur (slots are
+        // created from band members' predecessors), so the root is present.
+        if let Some(entry) = groups.get_mut(&root) {
+            entry.1 += 1;
+        }
+    }
+    let mut list: Vec<(Vec<NodeId>, usize)> = groups.into_values().collect();
+    for (g, _) in &mut list {
+        g.sort();
+    }
+    list.sort_by_key(|(g, _)| g[0]);
+    list.into_iter().unzip()
+}
+
+/// Largest piece (members + distinct boundary inputs) of the band covering
+/// `levels[start..=end]`, with level-0 sources pulled in.
+fn max_piece_size(dag: &Dag, by_level: &[Vec<NodeId>], start: usize, end: usize) -> usize {
+    let mut band: Vec<NodeId> = Vec::new();
+    for level in &by_level[(if start == 1 { 0 } else { start })..=end] {
+        band.extend(level.iter().copied());
+    }
+    band.sort();
+    let (_, sizes) = band_pieces(dag, &band);
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Sink-cone tiling. Applicable only when every non-source, non-sink node
+/// has out-degree exactly 1: then every non-source node lies on a unique
+/// out-path to a sink (its cone), cones are vertex-disjoint, and all
+/// interaction happens through shared sources. Cones are merged into tiles
+/// in pairwise rounds, each cone/tile joining the partner with the largest
+/// shared-input set (ties: smaller merged input set, then smaller id), while
+/// members + distinct inputs stay within `max_nodes` and the tile keeps at
+/// most `max_sinks` sinks (live accumulators during its schedule).
+fn sink_cones(dag: &Dag, max_nodes: usize, max_sinks: usize) -> Option<Decomposition> {
+    for v in dag.nodes() {
+        if !dag.is_source(v) && !dag.is_sink(v) && dag.out_degree(v) != 1 {
+            return None;
+        }
+    }
+    let n = dag.node_count();
+    // Cone id per node: follow the unique out-edge to the sink (memoised).
+    let mut cone: Vec<u32> = vec![u32::MAX; n];
+    let sinks = dag.sinks();
+    let sink_index: HashMap<NodeId, u32> = sinks
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    for v in dag.nodes() {
+        if dag.is_source(v) {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = v;
+        while cone[cur.index()] == u32::MAX {
+            if let Some(&si) = sink_index.get(&cur) {
+                cone[cur.index()] = si;
+                break;
+            }
+            path.push(cur);
+            cur = dag
+                .successors(cur)
+                .next()
+                .expect("internal nodes have out-degree 1");
+        }
+        let id = cone[cur.index()];
+        for p in path {
+            cone[p.index()] = id;
+        }
+    }
+
+    // Tiles start as single cones, with their distinct source inputs.
+    struct Tile {
+        cones: Vec<u32>,
+        nodes: usize,
+        inputs: Vec<u32>, // sorted source ids
+    }
+    let mut tiles: Vec<Tile> = sinks
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Tile {
+            cones: vec![i as u32],
+            nodes: 0,
+            inputs: Vec::new(),
+        })
+        .collect();
+    for v in dag.nodes() {
+        if dag.is_source(v) {
+            continue;
+        }
+        let t = &mut tiles[cone[v.index()] as usize];
+        t.nodes += 1;
+        for u in dag.predecessors(v) {
+            if dag.is_source(u) {
+                t.inputs.push(u.index() as u32);
+            }
+        }
+    }
+    for t in &mut tiles {
+        t.inputs.sort_unstable();
+        t.inputs.dedup();
+    }
+
+    // Pairwise merge rounds. Alternating row/column merges emerge naturally
+    // on product-structured input sets (matmul, attention): after the first
+    // (tie-broken) round, the orthogonal direction shares strictly more
+    // inputs, so tiles stay near-square.
+    loop {
+        let k = tiles.len();
+        if k <= 1 {
+            break;
+        }
+        // Inverted index: input -> tiles using it.
+        let mut users: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, t) in tiles.iter().enumerate() {
+            for &inp in &t.inputs {
+                users.entry(inp).or_default().push(i);
+            }
+        }
+        let mut merged_into: Vec<Option<usize>> = vec![None; k];
+        let mut taken = vec![false; k];
+        let mut shared = vec![0usize; k];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut any = false;
+        for i in 0..k {
+            if taken[i] {
+                continue;
+            }
+            for &inp in &tiles[i].inputs {
+                for &j in &users[&inp] {
+                    if j != i && !taken[j] {
+                        if shared[j] == 0 {
+                            touched.push(j);
+                        }
+                        shared[j] += 1;
+                    }
+                }
+            }
+            // Best partner: most shared inputs, then smallest merged input
+            // set, then smallest index.
+            let mut best: Option<(usize, usize, usize)> = None; // (j, shared, union)
+            touched.sort_unstable();
+            for &j in &touched {
+                let sh = shared[j];
+                let union = tiles[i].inputs.len() + tiles[j].inputs.len() - sh;
+                let total = tiles[i].nodes + tiles[j].nodes + union;
+                if total > max_nodes || tiles[i].cones.len() + tiles[j].cones.len() > max_sinks {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bs, bu)) => sh > bs || (sh == bs && union < bu),
+                };
+                if better {
+                    best = Some((j, sh, union));
+                }
+            }
+            for &j in &touched {
+                shared[j] = 0;
+            }
+            touched.clear();
+            if let Some((j, _, _)) = best {
+                taken[i] = true;
+                taken[j] = true;
+                merged_into[j] = Some(i);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        let mut next: Vec<Tile> = Vec::new();
+        let mut moved: Vec<Option<usize>> = vec![None; k];
+        for i in 0..k {
+            if merged_into[i].is_some() {
+                continue;
+            }
+            moved[i] = Some(next.len());
+            next.push(Tile {
+                cones: std::mem::take(&mut tiles[i].cones),
+                nodes: tiles[i].nodes,
+                inputs: std::mem::take(&mut tiles[i].inputs),
+            });
+        }
+        for j in 0..k {
+            if let Some(i) = merged_into[j] {
+                let slot = moved[i].expect("merge target survives");
+                let t = &mut next[slot];
+                t.cones.extend(tiles[j].cones.iter().copied());
+                t.nodes += tiles[j].nodes;
+                let mut inputs = std::mem::take(&mut t.inputs);
+                inputs.extend(tiles[j].inputs.iter().copied());
+                inputs.sort_unstable();
+                inputs.dedup();
+                t.inputs = inputs;
+            }
+        }
+        tiles = next;
+    }
+
+    // Materialise member lists.
+    let mut tile_of_cone: Vec<u32> = vec![0; sinks.len()];
+    for (ti, t) in tiles.iter().enumerate() {
+        for &c in &t.cones {
+            tile_of_cone[c as usize] = ti as u32;
+        }
+    }
+    let mut parts: Vec<Vec<NodeId>> = vec![Vec::new(); tiles.len()];
+    for v in dag.nodes() {
+        if !dag.is_source(v) {
+            parts[tile_of_cone[cone[v.index()] as usize] as usize].push(v);
+        }
+    }
+    parts.retain(|p| !p.is_empty());
+    let strategy = Strategy::SinkCones {
+        max_nodes,
+        max_sinks,
+    };
+    Some(assemble(
+        dag,
+        strategy,
+        parts,
+        Some(ComponentKind::Cone),
+        |comps| DecompTree::Split {
+            kind: SplitKind::Tiles,
+            parts: (0..comps.len()).map(DecompTree::Leaf).collect(),
+        },
+    ))
+}
+
+/// A component materialised as a standalone [`Dag`]: the members plus their
+/// boundary inputs (which become sources), with every in-edge of every
+/// member preserved.
+#[derive(Debug, Clone)]
+pub struct ExtractedComponent {
+    /// The extracted sub-DAG; local node ids are dense.
+    pub dag: Dag,
+    /// Global id of each local node, ascending (local order preserves global
+    /// order).
+    pub to_global: Vec<NodeId>,
+    /// `true` at local positions that are boundary inputs (sub-DAG sources
+    /// that the surrounding schedule must have saved).
+    pub is_input: Vec<bool>,
+}
+
+/// Extract `component` (members + boundary inputs) from `dag`.
+///
+/// The sub-DAG contains every in-edge of every member — internal edges and
+/// cross edges from boundary inputs alike — so a valid pebbling of the
+/// sub-DAG marks exactly the member in-edges of the original DAG. Edges are
+/// inserted grouped by target member in ascending order (deterministic).
+pub fn extract_component(dag: &Dag, component: &Component) -> ExtractedComponent {
+    let mut to_global: Vec<NodeId> = component
+        .inputs
+        .iter()
+        .chain(component.nodes.iter())
+        .copied()
+        .collect();
+    to_global.sort();
+    let local: HashMap<NodeId, usize> =
+        to_global.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut member = vec![false; to_global.len()];
+    for &v in &component.nodes {
+        member[local[&v]] = true;
+    }
+    let mut b = DagBuilder::new();
+    for &g in &to_global {
+        b.add_labeled_node(dag.label(g));
+    }
+    for &v in &component.nodes {
+        for &(u, _) in dag.in_edges(v) {
+            b.add_edge(NodeId::from_index(local[&u]), NodeId::from_index(local[&v]));
+        }
+    }
+    let sub = b.build().expect("component extraction preserves validity");
+    let is_input = member.iter().map(|&m| !m).collect();
+    ExtractedComponent {
+        dag: sub,
+        to_global,
+        is_input,
+    }
+}
+
+/// The member-induced *internal* sub-DAG of a component: members only,
+/// edges with both endpoints inside, nodes left isolated by the restriction
+/// dropped. Returns `None` when no internal edge survives. Used by the
+/// composable lower bounds of `pebble-bounds`.
+#[derive(Debug, Clone)]
+pub struct InternalSubDag {
+    /// The internal sub-DAG.
+    pub dag: Dag,
+    /// Global id of each local node, ascending.
+    pub to_global: Vec<NodeId>,
+    /// Members kept that have no internal in-edge but at least one global
+    /// in-edge ("fake sources": really computed from values outside the
+    /// component).
+    pub fake_sources: usize,
+    /// Members kept that have no internal out-edge but at least one global
+    /// out-edge ("fake sinks": their value crosses the boundary and the
+    /// surrounding schedule need not save it).
+    pub fake_sinks: usize,
+}
+
+/// Build the internal sub-DAG of `members` (sorted ascending).
+pub fn extract_internal(dag: &Dag, members: &[NodeId]) -> Option<InternalSubDag> {
+    let mut in_set = dag.node_set();
+    for &v in members {
+        in_set.insert(v.index());
+    }
+    let keep: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|&v| {
+            dag.predecessors(v).any(|u| in_set.contains(u.index()))
+                || dag.successors(v).any(|w| in_set.contains(w.index()))
+        })
+        .collect();
+    if keep.is_empty() {
+        return None;
+    }
+    let local: HashMap<NodeId, usize> = keep.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut b = DagBuilder::new();
+    for &g in &keep {
+        b.add_labeled_node(dag.label(g));
+    }
+    let mut fake_sources = 0;
+    let mut fake_sinks = 0;
+    for &v in &keep {
+        let mut internal_in = 0;
+        for &(u, _) in dag.in_edges(v) {
+            if in_set.contains(u.index()) {
+                b.add_edge(NodeId::from_index(local[&u]), NodeId::from_index(local[&v]));
+                internal_in += 1;
+            }
+        }
+        if internal_in == 0 && dag.in_degree(v) > 0 {
+            fake_sources += 1;
+        }
+        let internal_out = dag
+            .successors(v)
+            .filter(|w| in_set.contains(w.index()))
+            .count();
+        if internal_out == 0 && dag.out_degree(v) > 0 {
+            fake_sinks += 1;
+        }
+    }
+    let sub = b.build().expect("internal extraction preserves validity");
+    Some(InternalSubDag {
+        dag: sub,
+        to_global: keep,
+        fake_sources,
+        fake_sinks,
+    })
+}
+
+/// Union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] as usize != v {
+            self.parent[v] = self.parent[self.parent[v] as usize];
+            v = self.parent[v] as usize;
+        }
+        v
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+    }
+
+    /// Groups over dense ids `0..n` named by the given node iterator, listed
+    /// by smallest member, each sorted ascending.
+    fn groups(&mut self, nodes: impl Iterator<Item = NodeId>) -> Vec<Vec<NodeId>> {
+        let all: Vec<NodeId> = nodes.collect();
+        self.groups_mapped(&all)
+    }
+
+    /// Groups where dense id `i` stands for `names[i]`.
+    fn groups_mapped(&mut self, names: &[NodeId]) -> Vec<Vec<NodeId>> {
+        let mut by_root: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for (i, &v) in names.iter().enumerate() {
+            by_root.entry(self.find(i)).or_default().push(v);
+        }
+        let mut groups: Vec<Vec<NodeId>> = by_root.into_values().collect();
+        for g in &mut groups {
+            g.sort();
+        }
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{binary_tree, fft, matmul};
+
+    fn chain(n: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let nodes = b.add_nodes(n);
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(4);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[1], n[3]);
+        b.add_edge(n[2], n[3]);
+        b.build().unwrap()
+    }
+
+    fn two_chains() -> Dag {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.add_edge(n[3], n[4]);
+        b.add_edge(n[4], n[5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn classification_recognises_shapes() {
+        let c = chain(5);
+        assert_eq!(
+            classify(&c, &c.nodes().collect::<Vec<_>>()),
+            ComponentKind::Chain
+        );
+        let t = binary_tree(3);
+        assert_eq!(
+            classify(&t, &t.nodes().collect::<Vec<_>>()),
+            ComponentKind::InTree
+        );
+        let d = diamond();
+        assert_eq!(
+            classify(&d, &d.nodes().collect::<Vec<_>>()),
+            ComponentKind::SeriesParallel
+        );
+        let f = fft(8).dag;
+        assert_eq!(
+            classify(&f, &f.nodes().collect::<Vec<_>>()),
+            ComponentKind::General
+        );
+    }
+
+    #[test]
+    fn series_parallel_recognition() {
+        assert!(is_series_parallel(&chain(4)));
+        assert!(is_series_parallel(&diamond()));
+        // Nested: diamond with one arm itself a diamond-in-series.
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(6);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[5]);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[2], n[3]);
+        b.add_edge(n[2], n[4]);
+        b.add_edge(n[3], n[5]);
+        b.add_edge(n[4], n[5]);
+        assert!(is_series_parallel(&b.build().unwrap()));
+        // The FFT butterfly is the canonical non-SP DAG (the W shape).
+        assert!(!is_series_parallel(&fft(4).dag));
+        // Two sources: not two-terminal.
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[1], n[2]);
+        assert!(!is_series_parallel(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn wcc_splits_disconnected_dags() {
+        let d = wcc(&two_chains());
+        assert_eq!(d.components.len(), 2);
+        assert!(d.cut_edges.is_empty());
+        assert!(d.shared_sources.is_empty());
+        assert_eq!(d.components[0].kind, ComponentKind::Chain);
+        assert!(d.components.iter().all(|c| c.inputs.is_empty()));
+        assert_eq!(d.assigned_nodes(), 6);
+    }
+
+    #[test]
+    fn level_bands_shatter_the_fft_into_blocks() {
+        let f = fft(16).dag; // 5 levels of 16 nodes
+        let d = decompose(&f, Strategy::LevelBands { max_nodes: 24 }).unwrap();
+        // Bands of 2 compute levels split into 4-wide sub-butterflies.
+        assert!(d.components.len() > 1);
+        assert!(d.max_component_size() <= 24);
+        assert_eq!(d.assigned_nodes(), f.node_count());
+        // Every cut edge goes from an earlier component to a later one.
+        let mut owner = vec![usize::MAX; f.node_count()];
+        for (i, c) in d.components.iter().enumerate() {
+            for &v in &c.nodes {
+                owner[v.index()] = i;
+            }
+        }
+        for &e in &d.cut_edges {
+            let (u, v) = f.edge_endpoints(e);
+            assert!(owner[u.index()] < owner[v.index()]);
+        }
+        // Boundary sets are consistent.
+        for c in &d.components {
+            for &inp in &c.inputs {
+                assert!(c.nodes.binary_search(&inp).is_err());
+            }
+            for &out in &c.outputs {
+                assert!(c.nodes.binary_search(&out).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn sink_cones_tile_matmul() {
+        let mm = matmul(4, 4, 4).dag;
+        let d = decompose(
+            &mm,
+            Strategy::SinkCones {
+                max_nodes: 60,
+                max_sinks: 4,
+            },
+        )
+        .unwrap();
+        // Every non-source node is assigned; sources stay shared.
+        assert_eq!(d.assigned_nodes() + d.shared_sources.len(), mm.node_count());
+        assert!(d.shared_sources.iter().all(|&v| mm.is_source(v)));
+        assert!(d.components.len() > 1);
+        assert!(d.max_component_size() <= 60);
+        // Tiles only interact through shared sources: no member outputs.
+        for c in &d.components {
+            assert!(c.outputs.is_empty());
+            assert!(c.inputs.iter().all(|&u| mm.is_source(u)));
+        }
+        // Merging shares inputs: a merged tile has fewer inputs than the sum
+        // of its cones' inputs would be.
+        let merged = d.components.iter().find(|c| c.nodes.len() > 5).unwrap();
+        let sinks_in = merged.nodes.iter().filter(|&&v| mm.is_sink(v)).count();
+        assert!(merged.inputs.len() < sinks_in * 8);
+    }
+
+    #[test]
+    fn sink_cones_reject_shared_internal_nodes() {
+        // FFT internal nodes have out-degree 2.
+        assert!(decompose(
+            &fft(8).dag,
+            Strategy::SinkCones {
+                max_nodes: 100,
+                max_sinks: 16,
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn sink_cap_bounds_live_accumulators() {
+        let mm = matmul(4, 4, 4).dag;
+        for max_sinks in [1usize, 2, 4, 8] {
+            let d = decompose(
+                &mm,
+                Strategy::SinkCones {
+                    max_nodes: 10_000,
+                    max_sinks,
+                },
+            )
+            .unwrap();
+            for c in &d.components {
+                let sinks = c.nodes.iter().filter(|&&v| mm.is_sink(v)).count();
+                assert!(sinks <= max_sinks, "{sinks} > {max_sinks}");
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_roundtrips_structure() {
+        let f = fft(16).dag;
+        let d = decompose(&f, Strategy::LevelBands { max_nodes: 24 }).unwrap();
+        let mut member_edges = 0;
+        for c in &d.components {
+            let ex = extract_component(&f, c);
+            assert_eq!(ex.dag.node_count(), c.nodes.len() + c.inputs.len());
+            // Every member in-edge is preserved.
+            let in_edges: usize = c.nodes.iter().map(|&v| f.in_degree(v)).sum();
+            assert_eq!(ex.dag.edge_count(), in_edges);
+            member_edges += in_edges;
+            // Boundary inputs are sub-sources.
+            for (i, &inp) in ex.is_input.iter().enumerate() {
+                if inp {
+                    assert!(ex.dag.is_source(NodeId::from_index(i)));
+                }
+            }
+            // Local order preserves global order.
+            assert!(ex.to_global.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Sources have no in-edges, so member in-edges cover every edge.
+        assert_eq!(member_edges, f.edge_count());
+    }
+
+    #[test]
+    fn internal_extraction_counts_fakes() {
+        let f = fft(16).dag;
+        let d = decompose(&f, Strategy::LevelBands { max_nodes: 24 }).unwrap();
+        // A non-first band's pieces are computed from boundary values: every
+        // kept node with no internal in-edge is a fake source.
+        let later = d
+            .components
+            .iter()
+            .find(|c| !c.inputs.is_empty())
+            .expect("fft bands have boundaries");
+        let internal = extract_internal(&f, &later.nodes).unwrap();
+        assert!(internal.fake_sources > 0);
+        assert!(internal.dag.node_count() <= later.nodes.len());
+    }
+
+    #[test]
+    fn whole_is_total() {
+        let f = fft(8).dag;
+        let d = decompose(&f, Strategy::Whole).unwrap();
+        assert_eq!(d.components.len(), 1);
+        assert_eq!(d.assigned_nodes(), f.node_count());
+        assert!(d.cut_edges.is_empty());
+        assert!(matches!(d.tree, DecompTree::Leaf(0)));
+    }
+
+    #[test]
+    fn strategy_display_names() {
+        assert_eq!(Strategy::Whole.to_string(), "whole");
+        assert_eq!(Strategy::Wcc.to_string(), "wcc");
+        assert_eq!(
+            Strategy::LevelBands { max_nodes: 64 }.to_string(),
+            "bands:64"
+        );
+        assert_eq!(
+            Strategy::SinkCones {
+                max_nodes: 640,
+                max_sinks: 48
+            }
+            .to_string(),
+            "cones:640:48"
+        );
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`liveness`] — next-use / consumer-position precomputation for a compute
 //!   order, the substrate of Belady-style eviction in the heuristic
 //!   schedulers.
+//! * [`decompose`] — structure detection (trees, chains, series-parallel via
+//!   reduction recognition, level bands, sink-cone tiles) and decomposition
+//!   of a DAG into independently schedulable components with explicit
+//!   cut/boundary sets, the substrate of divide-and-conquer scheduling.
 //! * [`generators`] — every DAG family used in the paper: Figure 1 gadget and
 //!   its chained version, zipper gadget, binary / k-ary trees, pyramid and
 //!   pebble-collection gadgets, matrix–vector and matrix–matrix multiplication,
@@ -29,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub mod bitset;
+pub mod decompose;
 pub mod dominators;
 pub mod export;
 pub mod flow;

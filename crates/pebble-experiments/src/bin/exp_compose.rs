@@ -1,0 +1,21 @@
+//! Prints the E17 (structure-aware scheduling) experiment table: the
+//! compose pipeline — decomposition, per-component scheduling (exact below
+//! the node budget), boundary-aware stitching — measured against the
+//! certified lower bounds and the generic portfolio.
+//!
+//! `--json` additionally emits the table as one machine-readable JSON object
+//! after the unchanged plain-text table. Exits nonzero if any validation
+//! check of the experiment failed.
+fn main() -> std::process::ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("exp_compose: unknown flag {other} (supported: --json)");
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    pebble_experiments::emit_with(pebble_experiments::e17_compose::run(), json)
+}

@@ -77,6 +77,13 @@ fn local_refine() -> Scheduler {
     Scheduler::Local { iterations: 120 }
 }
 
+/// Structure-aware divide-and-conquer (E17's engine), swept as a portfolio
+/// member on the small and mid-size PRBP instances so the committed
+/// benchmark baseline tracks its costs.
+fn compose() -> Scheduler {
+    Scheduler::Compose { exact_budget: 20 }
+}
+
 /// The scheduling corpus. All instances are deterministic; the committed
 /// `BENCH_sched.json` baseline gates their costs exactly.
 pub fn corpus() -> Vec<SchedInstance> {
@@ -87,6 +94,7 @@ pub fn corpus() -> Vec<SchedInstance> {
     let mut small_suite = core_suite();
     small_suite.push(wide_beam());
     small_suite.push(local_refine());
+    small_suite.push(compose());
     out.push(SchedInstance {
         id: "fft-64",
         model: Model::Prbp,
@@ -114,6 +122,7 @@ pub fn corpus() -> Vec<SchedInstance> {
     let f256 = fft(256);
     let mut mid_suite = core_suite();
     mid_suite.push(wide_beam());
+    mid_suite.push(compose());
     out.push(SchedInstance {
         id: "fft-256",
         model: Model::Prbp,
@@ -157,12 +166,14 @@ pub fn corpus() -> Vec<SchedInstance> {
         gap_gated: true,
     });
     let mm16 = matmul(16, 16, 16);
+    let mut mm16_suite = core_suite();
+    mm16_suite.push(compose());
     out.push(SchedInstance {
         id: "matmul-16",
         model: Model::Prbp,
         r: 64,
         dag: mm16.dag.clone(),
-        schedulers: core_suite(),
+        schedulers: mm16_suite,
         structured: Some((
             "tiled",
             StructuredTrace::Prbp(strategies::matmul::prbp_tiled(&mm16, 64).expect("r >= 4")),
@@ -363,6 +374,11 @@ mod tests {
             .all(|i| i.structured.is_some()));
     }
 
+    // The sweep now includes `compose` (several full portfolio passes over
+    // candidate decompositions), which takes minutes unoptimised — release
+    // builds only; CI runs it through the targeted release step
+    // (`cargo test --release -p pebble-experiments --lib -- e16_sched::tests`).
+    #[cfg(not(debug_assertions))]
     #[test]
     fn small_instance_sweep_brackets_costs() {
         let c = corpus();

@@ -29,6 +29,7 @@ pub mod e13_hardness_71;
 pub mod e14_convert;
 pub mod e15_variants;
 pub mod e16_sched;
+pub mod e17_compose;
 
 pub use table::Table;
 
@@ -36,7 +37,7 @@ pub use table::Table;
 pub type Experiment = (&'static str, fn() -> Table);
 
 /// Every experiment in order: id and the function building its table.
-pub const EXPERIMENTS: [Experiment; 16] = [
+pub const EXPERIMENTS: [Experiment; 17] = [
     ("e01", e01_fig1::run),
     ("e02", e02_matvec::run),
     ("e03", e03_zipper::run),
@@ -53,6 +54,7 @@ pub const EXPERIMENTS: [Experiment; 16] = [
     ("e14", e14_convert::run),
     ("e15", e15_variants::run),
     ("e16", e16_sched::run),
+    ("e17", e17_compose::run),
 ];
 
 /// Run every experiment across all cores, printing each table in order
@@ -128,14 +130,16 @@ mod tests {
         // This is the cheap smoke test; the individual experiment modules
         // assert their paper-specific invariants. Built in parallel, which
         // also exercises the runner on the real workload. E16 sweeps the
-        // at-scale scheduling corpus (10⁴-node instances) and takes ~a
-        // minute unoptimised, so it is exercised in release builds only —
+        // at-scale scheduling corpus (10⁴-node instances) and E17 runs
+        // several full portfolio passes per instance; both take minutes
+        // unoptimised, so they are exercised in release builds only —
         // CI's release `exp_all` run and this test under `--release` still
-        // cover it; its cheap invariants live in `e16_sched::tests`.
+        // cover them; their cheap invariants live in `e16_sched::tests` /
+        // `e17_compose::tests`.
         let experiments: Vec<Experiment> = EXPERIMENTS
             .iter()
             .copied()
-            .filter(|&(id, _)| !cfg!(debug_assertions) || id != "e16")
+            .filter(|&(id, _)| !cfg!(debug_assertions) || (id != "e16" && id != "e17"))
             .collect();
         let count = experiments.len();
         let tables = runner::run_parallel_with_threads(

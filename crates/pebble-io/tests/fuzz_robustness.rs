@@ -1,0 +1,211 @@
+//! Fuzz-style robustness: deterministic ChaCha8-seeded mutations of valid
+//! interchange documents must never panic the parsers and must always
+//! produce either a successfully validated [`pebble_dag::Dag`] or a
+//! position-carrying (or explicitly structural) [`ParseError`].
+//!
+//! The seed corpus under `tests/fuzz_corpus/` is committed output of the
+//! crate's own writers (one small instance per format plus two larger
+//! ones), so the mutations start from documents that exercise every
+//! grammar production. Each corpus entry is hit with byte-level mutations
+//! (flip, insert, delete, truncate), token-level mutations (duplicate /
+//! swap / drop whole lines) and cross-format confusion (parsing one format
+//! as another); pure byte soup rounds out the suite. Every failure this
+//! suite can produce is a deterministic seed, so a regression reproduces
+//! exactly.
+
+use pebble_io::{parse, Format, ParseError, ParseErrorKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CORPUS: &[(&str, Format, &str)] = &[
+    (
+        "fig1.el",
+        Format::EdgeList,
+        include_str!("fuzz_corpus/fig1.el"),
+    ),
+    (
+        "tree3.el",
+        Format::EdgeList,
+        include_str!("fuzz_corpus/tree3.el"),
+    ),
+    (
+        "fig1.dot",
+        Format::Dot,
+        include_str!("fuzz_corpus/fig1.dot"),
+    ),
+    (
+        "matmul2.dot",
+        Format::Dot,
+        include_str!("fuzz_corpus/matmul2.dot"),
+    ),
+    (
+        "fig1.json",
+        Format::Json,
+        include_str!("fuzz_corpus/fig1.json"),
+    ),
+    (
+        "fft4.json",
+        Format::Json,
+        include_str!("fuzz_corpus/fft4.json"),
+    ),
+];
+
+/// Mutation count per (corpus entry, mutator). Debug builds stay quick; the
+/// release CI pass turns the screws.
+const ROUNDS: usize = if cfg!(debug_assertions) { 120 } else { 600 };
+
+/// A parse outcome is acceptable iff it is `Ok` or an error whose position
+/// is coherent with the input: 1-based line within the document (plus one
+/// for end-of-input reports), 1-based column. Structural errors (cycle,
+/// isolated node, empty graph) legitimately carry no position.
+fn assert_outcome(name: &str, seed: u64, input: &str, result: Result<pebble_dag::Dag, ParseError>) {
+    let Err(err) = result else { return };
+    match (&err.location, &err.kind) {
+        (Some(loc), _) => {
+            let lines = input.lines().count().max(1);
+            assert!(
+                loc.line >= 1 && loc.line <= lines + 1,
+                "{name} seed {seed}: line {} out of range 1..={} for error `{err}`",
+                loc.line,
+                lines + 1
+            );
+            assert!(
+                loc.col >= 1,
+                "{name} seed {seed}: column {} not 1-based for error `{err}`",
+                loc.col
+            );
+        }
+        (None, ParseErrorKind::Graph(_)) => {}
+        (None, kind) => {
+            panic!("{name} seed {seed}: non-structural error without a position: {kind:?} ({err})")
+        }
+    }
+}
+
+fn mutate_bytes(rng: &mut ChaCha8Rng, text: &str) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    let edits = rng.gen_range(1usize..=4);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.gen_range(0usize..4) {
+            0 => {
+                // Flip: replace a byte with printable noise or a control char.
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = [b'{', b'}', b'-', b'>', b'"', b'0', b'x', b'\n', b'\t', 0xFF]
+                    [rng.gen_range(0usize..10)];
+            }
+            1 => {
+                let i = rng.gen_range(0..=bytes.len());
+                let b = [b' ', b'9', b'"', b',', b';', b'[', b']', 0xC3][rng.gen_range(0usize..8)];
+                bytes.insert(i, b);
+            }
+            2 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+            _ => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.truncate(i);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn mutate_lines(rng: &mut ChaCha8Rng, text: &str) -> String {
+    let mut lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return String::new();
+    }
+    match rng.gen_range(0usize..3) {
+        0 => {
+            let i = rng.gen_range(0..lines.len());
+            let line = lines[i];
+            lines.insert(i, line);
+        }
+        1 => {
+            let i = rng.gen_range(0..lines.len());
+            let j = rng.gen_range(0..lines.len());
+            lines.swap(i, j);
+        }
+        _ => {
+            let i = rng.gen_range(0..lines.len());
+            lines.remove(i);
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[test]
+fn byte_mutations_never_panic_and_report_positions() {
+    for &(name, format, text) in CORPUS {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_0001);
+        for round in 0..ROUNDS {
+            let mutated = mutate_bytes(&mut rng, text);
+            assert_outcome(name, round as u64, &mutated, parse(&mutated, format));
+        }
+    }
+}
+
+#[test]
+fn line_mutations_never_panic_and_report_positions() {
+    for &(name, format, text) in CORPUS {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_0002);
+        for round in 0..ROUNDS {
+            let mutated = mutate_lines(&mut rng, text);
+            assert_outcome(name, round as u64, &mutated, parse(&mutated, format));
+        }
+    }
+}
+
+#[test]
+fn stacked_mutations_never_panic() {
+    for &(name, format, text) in CORPUS {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_0003);
+        for round in 0..ROUNDS {
+            let once = mutate_lines(&mut rng, text);
+            let twice = mutate_bytes(&mut rng, &once);
+            assert_outcome(name, round as u64, &twice, parse(&twice, format));
+        }
+    }
+}
+
+#[test]
+fn cross_format_confusion_never_panics() {
+    // Feeding each corpus document to the *other* parsers must fail
+    // gracefully too (this is exactly what a mis-sniffed file does).
+    for &(name, _, text) in CORPUS {
+        for format in [Format::EdgeList, Format::Dot, Format::Json] {
+            assert_outcome(name, u64::MAX, text, parse(text, format));
+        }
+    }
+}
+
+#[test]
+fn byte_soup_never_panics() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_0004);
+    for round in 0..ROUNDS {
+        let len = rng.gen_range(0usize..200);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+        let soup = String::from_utf8_lossy(&bytes).into_owned();
+        for format in [Format::EdgeList, Format::Dot, Format::Json] {
+            assert_outcome("soup", round as u64, &soup, parse(&soup, format));
+        }
+        // The sniffer must accept anything as well.
+        let _ = Format::sniff(&soup);
+    }
+}
+
+#[test]
+fn corpus_documents_are_valid_seeds() {
+    // The corpus itself must parse: mutations start from grammar-covering
+    // valid documents, not from junk.
+    for &(name, format, text) in CORPUS {
+        let dag = parse(text, format).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(dag.node_count() > 0);
+    }
+}

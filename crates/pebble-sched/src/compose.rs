@@ -1,0 +1,553 @@
+//! Structure-aware divide-and-conquer scheduling: decompose, schedule each
+//! component independently (exact below a node budget, heuristic above),
+//! stitch the per-component traces into one simulator-valid schedule.
+//!
+//! ## Pipeline
+//!
+//! 1. **Decompose** ([`pebble_dag::decompose`]): candidate decompositions
+//!    are generated — the whole DAG, its weakly connected components, level
+//!    bands at a few size caps, and sink-cone tiles where applicable.
+//! 2. **Schedule** each component on its extracted sub-DAG (members +
+//!    boundary inputs), dispatching components across scoped worker threads.
+//!    Components within [`ComposeConfig::exact_budget`] nodes are solved
+//!    *optimally* by the A* solver; larger ones get the best of the
+//!    heuristic portfolio, plus the shared-input-affinity edge schedule
+//!    ([`crate::edges`]) on cone-shaped components.
+//! 3. **Stitch**: replay each component's moves against the full-DAG
+//!    simulator in quotient-topological order. Boundary-aware
+//!    eviction keeps the stitched trace valid: a deletion whose value still
+//!    has unmarked cross edges is upgraded to save-then-delete, and the
+//!    cache is flushed between components so every component starts from
+//!    the empty fast memory its sub-schedule assumed. The cheapest stitched
+//!    candidate wins.
+//!
+//! Every stitched trace is re-validated from scratch by the caller's
+//! certification, and the winning cost is paired with the composable lower
+//! bound of `pebble-bounds` (plus per-component exact optima where
+//! components are boundary-free), so structure-aware runs certify *tighter*
+//! gaps, not just lower costs.
+
+use crate::edges::{cone_affinity_edges, greedy_prbp_edges};
+use crate::policy::FurthestInFuture;
+use crate::report::{certify_prbp_with_bounds, BoundSet, BoundValue, ScheduleReport};
+use crate::suite::{best_prbp, default_suite, Scheduler};
+use pebble_bounds::composed_prbp_bound;
+use pebble_dag::decompose::{decompose, Decomposition, ExtractedComponent, Strategy};
+use pebble_dag::{Dag, NodeId};
+use pebble_game::exact::{self, optimal_prbp_trace, LoadCountHeuristic, SearchConfig};
+use pebble_game::moves::PrbpMove;
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::trace::{PrbpTrace, TraceError};
+use pebble_game::PrbpBuilder;
+
+/// The default node budget below which components are solved exactly.
+pub const DEFAULT_EXACT_BUDGET: usize = 20;
+
+/// Configuration of the [`compose_prbp`] pipeline.
+#[derive(Debug, Clone)]
+pub struct ComposeConfig {
+    /// Components with at most this many sub-DAG nodes are solved optimally
+    /// by the A* solver (falling back to the portfolio when the state limit
+    /// trips).
+    pub exact_budget: usize,
+    /// State limit per per-component exact search.
+    pub exact_max_states: usize,
+    /// Worker threads for per-component scheduling; 0 uses the available
+    /// hardware parallelism.
+    pub threads: usize,
+    /// Component size caps (members + boundary inputs) tried for the banded
+    /// and tiled decompositions; empty derives `{4r, 16r}` from the cache
+    /// size.
+    pub caps: Vec<usize>,
+}
+
+impl Default for ComposeConfig {
+    fn default() -> Self {
+        ComposeConfig {
+            exact_budget: DEFAULT_EXACT_BUDGET,
+            exact_max_states: 2_000_000,
+            threads: 0,
+            caps: Vec::new(),
+        }
+    }
+}
+
+impl ComposeConfig {
+    /// A configuration with the given exact budget and defaults elsewhere.
+    pub fn with_exact_budget(exact_budget: usize) -> Self {
+        ComposeConfig {
+            exact_budget,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of a compose run.
+#[derive(Debug, Clone)]
+pub struct ComposeOutcome {
+    /// The stitched, simulator-valid schedule.
+    pub trace: PrbpTrace,
+    /// Its replayed I/O cost.
+    pub cost: usize,
+    /// The winning decomposition strategy.
+    pub strategy: Strategy,
+    /// Number of components in the winning decomposition.
+    pub components: usize,
+    /// How many of them were solved exactly.
+    pub exact_components: usize,
+    /// The best composable lower bound across all candidate partitions
+    /// (including per-component exact optima on boundary-free components).
+    /// Admissible for the full instance; `None` only for non-standard game
+    /// variants.
+    pub composed_bound: Option<usize>,
+}
+
+/// Schedule `dag` in PRBP with cache size `r` through the decompose /
+/// conquer / stitch pipeline. Returns `None` for `r < 2`. The result is
+/// never worse than the plain portfolio ([`best_prbp`] over
+/// [`default_suite`]), which participates as the single-component candidate.
+pub fn compose_prbp(dag: &Dag, r: usize, config: &ComposeConfig) -> Option<ComposeOutcome> {
+    if r < 2 {
+        return None;
+    }
+    let caps: Vec<usize> = if config.caps.is_empty() {
+        let mut caps = vec![
+            (4 * r).max(2 * config.exact_budget),
+            (16 * r).max(4 * config.exact_budget),
+        ];
+        caps.dedup();
+        caps
+    } else {
+        config.caps.clone()
+    };
+    // A tile's unsaved sinks are live accumulators throughout its schedule;
+    // capping them at ~3r/4 leaves room for the streaming inputs.
+    let max_sinks = (3 * r / 4).max(1);
+
+    let mut candidates: Vec<Decomposition> =
+        vec![decompose(dag, Strategy::Whole).expect("whole always applies")];
+    let wcc = decompose(dag, Strategy::Wcc).expect("wcc always applies");
+    if wcc.components.len() > 1 {
+        candidates.push(wcc);
+    }
+    for &cap in &caps {
+        if let Some(d) = decompose(
+            dag,
+            Strategy::SinkCones {
+                max_nodes: cap,
+                max_sinks,
+            },
+        ) {
+            if d.components.len() > 1 {
+                candidates.push(d);
+            }
+        }
+        let d = decompose(dag, Strategy::LevelBands { max_nodes: cap }).expect("bands total");
+        if d.components.len() > 1 {
+            candidates.push(d);
+        }
+    }
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+
+    let mut best: Option<(usize, PrbpTrace, Strategy, usize, usize)> = None;
+    let mut composed_bound: Option<usize> = None;
+    for decomposition in &candidates {
+        let Some(scheduled) = schedule_decomposition(dag, r, decomposition, config, threads) else {
+            continue;
+        };
+        // The composable bound is admissible for every candidate partition,
+        // so the maximum over candidates is too. Components without any
+        // boundary contribute their exact optimum when one was proved. For
+        // the single-component candidate the formula degenerates to the
+        // global ladder the certification evaluates anyway, so only the
+        // exact case is taken from it.
+        let candidate_bound = if decomposition.components.len() > 1 {
+            composed_prbp_bound(dag, PrbpConfig::new(r), &scheduled.partition, true).map(
+                |mut bound| {
+                    for (i, comp) in decomposition.components.iter().enumerate() {
+                        if comp.inputs.is_empty() && comp.outputs.is_empty() {
+                            if let Some(exact) = scheduled.exact[i] {
+                                bound.per_component[i] = bound.per_component[i].max(exact);
+                            }
+                        }
+                    }
+                    bound.total()
+                },
+            )
+        } else {
+            scheduled.exact[0]
+        };
+        if let Some(total) = candidate_bound {
+            if composed_bound.map_or(true, |b| total > b) {
+                composed_bound = Some(total);
+            }
+        }
+        let exact_count = scheduled.exact.iter().filter(|e| e.is_some()).count();
+        let better = best
+            .as_ref()
+            .map_or(true, |&(cost, ..)| scheduled.cost < cost);
+        if better {
+            best = Some((
+                scheduled.cost,
+                scheduled.trace,
+                decomposition.strategy,
+                decomposition.components.len(),
+                exact_count,
+            ));
+        }
+    }
+    let (cost, trace, strategy, components, exact_components) = best?;
+    Some(ComposeOutcome {
+        trace,
+        cost,
+        strategy,
+        components,
+        exact_components,
+        composed_bound,
+    })
+}
+
+/// [`compose_prbp`] followed by certification: the stitched trace is
+/// re-validated from scratch and its report ladder additionally carries the
+/// composable `compose` bound.
+pub fn compose_prbp_report(
+    dag: &Dag,
+    r: usize,
+    config: &ComposeConfig,
+    set: BoundSet,
+    scheduler: impl Into<String>,
+) -> Option<Result<ScheduleReport, TraceError<pebble_game::prbp::PrbpError>>> {
+    let outcome = compose_prbp(dag, r, config)?;
+    let extra: Vec<BoundValue> = outcome
+        .composed_bound
+        .map(|value| BoundValue {
+            name: "compose".to_string(),
+            value,
+        })
+        .into_iter()
+        .collect();
+    Some(certify_prbp_with_bounds(
+        dag,
+        r,
+        &outcome.trace,
+        scheduler,
+        set,
+        extra,
+    ))
+}
+
+struct ScheduledDecomposition {
+    trace: PrbpTrace,
+    cost: usize,
+    /// Per-component exact optimum, when the component was solved optimally.
+    exact: Vec<Option<usize>>,
+    /// Member lists, for the composable bound.
+    partition: Vec<Vec<NodeId>>,
+}
+
+fn schedule_decomposition(
+    dag: &Dag,
+    r: usize,
+    decomposition: &Decomposition,
+    config: &ComposeConfig,
+    threads: usize,
+) -> Option<ScheduledDecomposition> {
+    let extracted: Vec<ExtractedComponent> = decomposition
+        .components
+        .iter()
+        .map(|c| pebble_dag::decompose::extract_component(dag, c))
+        .collect();
+    let results = par_map(extracted.iter().collect(), threads, |sub| {
+        schedule_component(sub, r, config)
+    });
+    let mut traces = Vec::with_capacity(results.len());
+    let mut exact = Vec::with_capacity(results.len());
+    for result in results {
+        let (trace, solved) = result?;
+        traces.push(trace);
+        exact.push(solved);
+    }
+    let (trace, cost) = stitch(dag, r, &extracted, &traces);
+    Some(ScheduledDecomposition {
+        trace,
+        cost,
+        exact,
+        partition: decomposition
+            .components
+            .iter()
+            .map(|c| c.nodes.clone())
+            .collect(),
+    })
+}
+
+/// Schedule one extracted component. Returns the local trace and, when the
+/// component was solved optimally, its exact cost.
+///
+/// Heuristics run first: a heuristic schedule meeting the admissible
+/// load-count bound is already provably optimal, which skips the exponential
+/// search entirely on the (very common) boundary-dominated components —
+/// a decomposition with hundreds of tiny star-shaped pieces would otherwise
+/// burn a capped A* search per piece just to reconfirm the greedy result.
+fn schedule_component(
+    sub: &ExtractedComponent,
+    r: usize,
+    config: &ComposeConfig,
+) -> Option<(PrbpTrace, Option<usize>)> {
+    let dag = &sub.dag;
+    let config_prbp = PrbpConfig::new(r);
+    let mut suite = default_suite();
+    if dag.node_count() <= 512 {
+        suite.push(Scheduler::Beam {
+            width: 8,
+            branch: 4,
+        });
+    }
+    let mut best: Option<(PrbpTrace, usize)> = best_prbp(dag, r, &suite).map(|(_, t, c)| (t, c));
+    // Cone-shaped components additionally get the streaming-accumulator
+    // edge schedule, which the node-order portfolio cannot express.
+    if let Some(edges) = cone_affinity_edges(dag) {
+        if let Some(trace) = greedy_prbp_edges(dag, r, &edges, &mut FurthestInFuture) {
+            let cost = trace
+                .validate(dag, config_prbp)
+                .expect("edge executor emits valid traces");
+            if best.as_ref().map_or(true, |&(_, c)| cost < c) {
+                best = Some((trace, cost));
+            }
+        }
+    }
+    let (trace, cost) = best?;
+    let lower = exact::prbp_initial_bound(dag, config_prbp, &LoadCountHeuristic);
+    if cost == lower {
+        // Certified optimal without any search.
+        return Some((trace, Some(cost)));
+    }
+    if dag.node_count() <= config.exact_budget {
+        if let Ok((opt, opt_trace)) = optimal_prbp_trace(
+            dag,
+            config_prbp,
+            SearchConfig::with_max_states(config.exact_max_states),
+        ) {
+            return Some((opt_trace, Some(opt)));
+        }
+    }
+    Some((trace, None))
+}
+
+/// Replay per-component traces against the full-DAG simulator, in component
+/// order, with boundary-aware eviction. See the module docs for why every
+/// rewritten move is legal; the returned trace additionally re-validates in
+/// the caller's certification path.
+fn stitch(
+    dag: &Dag,
+    r: usize,
+    extracted: &[ExtractedComponent],
+    traces: &[PrbpTrace],
+) -> (PrbpTrace, usize) {
+    let mut builder = PrbpBuilder::new(dag, PrbpConfig::new(r));
+    for (sub, trace) in extracted.iter().zip(traces) {
+        let map = |l: NodeId| sub.to_global[l.index()];
+        for &mv in &trace.moves {
+            match mv {
+                PrbpMove::Load(v) => builder
+                    .push(PrbpMove::Load(map(v)))
+                    .expect("stitched load has a blue copy"),
+                PrbpMove::Save(v) => builder
+                    .push(PrbpMove::Save(map(v)))
+                    .expect("stitched save is dark red"),
+                PrbpMove::PartialCompute { from, to } => builder
+                    .push(PrbpMove::PartialCompute {
+                        from: map(from),
+                        to: map(to),
+                    })
+                    .expect("stitched aggregation is legal"),
+                // Boundary-aware eviction: a value whose cross edges are
+                // still unmarked is saved before its red pebble goes.
+                PrbpMove::Delete(v) => {
+                    builder.evict(map(v)).expect("stitched eviction is legal");
+                }
+                PrbpMove::Clear(_) => {
+                    unreachable!("compose schedules the standard one-shot game")
+                }
+            }
+        }
+        // Flush: the next component's sub-schedule assumed an empty cache,
+        // and every crossing value must end up with a blue copy.
+        for &g in &sub.to_global {
+            if builder.game().pebble_state(g).has_red() {
+                builder.evict(g).expect("flush eviction is legal");
+            }
+        }
+    }
+    let (trace, game) = builder.finish();
+    assert!(game.is_terminal(), "stitched schedule must be terminal");
+    (trace, game.io_cost())
+}
+
+/// Minimal scoped-thread work queue (the `pebble-experiments::runner`
+/// pattern, kept local to avoid a dependency cycle): runs `worker` over the
+/// items on up to `threads` threads, results in input order.
+fn par_map<I: Send, T: Send>(
+    items: Vec<I>,
+    threads: usize,
+    worker: impl Fn(I) -> T + Sync,
+) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(worker).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                let out = worker(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker finished without a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dag::generators::{binary_tree, fft, fig1_full, matmul};
+    use pebble_dag::DagBuilder;
+    use pebble_game::exact::optimal_prbp_cost;
+
+    #[test]
+    fn compose_is_exact_on_small_instances() {
+        let dag = fig1_full().dag;
+        for r in [3usize, 4] {
+            let outcome = compose_prbp(&dag, r, &ComposeConfig::default()).unwrap();
+            let opt = optimal_prbp_cost(&dag, PrbpConfig::new(r), SearchConfig::default()).unwrap();
+            assert_eq!(outcome.cost, opt);
+            assert!(outcome.exact_components >= 1);
+            assert_eq!(
+                outcome.trace.validate(&dag, PrbpConfig::new(r)).unwrap(),
+                opt
+            );
+            // The composable bound of the exactly-solved whole instance is
+            // the optimum itself.
+            assert_eq!(outcome.composed_bound, Some(opt));
+        }
+    }
+
+    #[test]
+    fn compose_solves_disconnected_instances_per_component() {
+        // Two disjoint copies of a small tree: each weak component is
+        // solved exactly, the stitched schedule sums the optima, and the
+        // composable bound certifies a 1.0 gap.
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(14);
+        for half in 0..2 {
+            let o = half * 7;
+            for (u, v) in [(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)] {
+                b.add_edge(n[o + u], n[o + v]);
+            }
+        }
+        let dag = b.build().unwrap();
+        let r = 3;
+        let outcome = compose_prbp(&dag, r, &ComposeConfig::default()).unwrap();
+        let opt = optimal_prbp_cost(&dag, PrbpConfig::new(r), SearchConfig::default()).unwrap();
+        assert_eq!(outcome.cost, opt);
+        assert_eq!(outcome.composed_bound, Some(opt));
+        assert!(outcome.trace.validate(&dag, PrbpConfig::new(r)).is_ok());
+    }
+
+    #[test]
+    fn compose_never_loses_to_the_portfolio() {
+        for (dag, r) in [(fft(32).dag, 8usize), (matmul(4, 4, 4).dag, 12)] {
+            let outcome = compose_prbp(&dag, r, &ComposeConfig::default()).unwrap();
+            let (_, _, portfolio) = best_prbp(&dag, r, &default_suite()).unwrap();
+            assert!(
+                outcome.cost <= portfolio,
+                "compose {} > portfolio {}",
+                outcome.cost,
+                portfolio
+            );
+            assert!(outcome.trace.validate(&dag, PrbpConfig::new(r)).is_ok());
+        }
+    }
+
+    // The two full-size structure wins sweep several complete portfolio
+    // passes and take minutes unoptimised; like E16 they are exercised in
+    // release builds only (CI runs the pebble-sched suite in release).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn compose_beats_the_portfolio_on_banded_fft() {
+        let dag = fft(64).dag;
+        let r = 16;
+        let outcome = compose_prbp(&dag, r, &ComposeConfig::default()).unwrap();
+        let (_, _, portfolio) = best_prbp(&dag, r, &default_suite()).unwrap();
+        assert!(
+            outcome.cost < portfolio,
+            "compose {} >= portfolio {}",
+            outcome.cost,
+            portfolio
+        );
+        assert!(matches!(outcome.strategy, Strategy::LevelBands { .. }));
+        assert!(outcome.components > 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn compose_tiles_matmul() {
+        let mm = matmul(8, 8, 8).dag;
+        let r = 24;
+        let outcome = compose_prbp(&mm, r, &ComposeConfig::default()).unwrap();
+        let (_, _, portfolio) = best_prbp(&mm, r, &default_suite()).unwrap();
+        assert!(outcome.cost < portfolio);
+        assert!(matches!(outcome.strategy, Strategy::SinkCones { .. }));
+    }
+
+    #[test]
+    fn compose_report_carries_the_compose_bound() {
+        let dag = binary_tree(3);
+        let report = compose_prbp_report(
+            &dag,
+            4,
+            &ComposeConfig::default(),
+            BoundSet::Full,
+            "compose",
+        )
+        .unwrap()
+        .unwrap();
+        assert!(report.bounds.iter().any(|b| b.name == "compose"));
+        assert!(report.gap() >= 1.0);
+        // The 15-node tree is within the exact budget: certified optimal.
+        assert!((report.gap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compose_rejects_tiny_caches() {
+        assert!(compose_prbp(&binary_tree(2), 1, &ComposeConfig::default()).is_none());
+    }
+}

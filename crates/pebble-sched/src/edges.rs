@@ -1,0 +1,310 @@
+//! Edge-order greedy scheduling: the PRBP executor generalised from node
+//! sequences to *edge* sequences.
+//!
+//! [`crate::greedy_prbp`] processes a node order and aggregates all in-edges
+//! of a node back to back, which forces every pending input of a
+//! high-fan-in node (a matmul accumulator, an attention score) to be
+//! resident simultaneously. PRBP's partial computes do not require that: an
+//! accumulator can absorb one input at a time, with each input produced
+//! just-in-time and deleted immediately. [`greedy_prbp_edges`] schedules an
+//! explicit edge sequence and unlocks exactly that pattern — it is what
+//! makes the tiled matmul / streaming attention access patterns expressible
+//! as a *generic* greedy run (see `compose`).
+//!
+//! The edge sequence must be *complete* (every edge exactly once) and
+//! *source-complete* (all in-edges of `u` appear before any edge `(u, v)`),
+//! which is verified up-front in `O(n + m)`; invalid sequences return
+//! `None`. Eviction decisions go through the usual pluggable
+//! [`EvictionPolicy`], with Belady next-use distances measured in edge
+//! positions.
+
+use crate::policy::{Candidate, EvictionPolicy};
+use pebble_dag::liveness::NEVER;
+use pebble_dag::{Dag, EdgeId, NodeId};
+use pebble_game::moves::PrbpMove;
+use pebble_game::prbp::{PebbleState, PrbpConfig};
+use pebble_game::trace::PrbpTrace;
+use pebble_game::PrbpBuilder;
+
+/// Schedule `dag` in PRBP with cache size `r` by processing `edges` in the
+/// given order, evicting through `policy`. Works for any `r ≥ 2`; returns
+/// `None` below that, or when `edges` is not a complete, source-complete
+/// edge sequence.
+pub fn greedy_prbp_edges(
+    dag: &Dag,
+    r: usize,
+    edges: &[EdgeId],
+    policy: &mut dyn EvictionPolicy,
+) -> Option<PrbpTrace> {
+    if r < 2 || edges.len() != dag.edge_count() {
+        return None;
+    }
+    let n = dag.node_count();
+    // Validate: every edge once, and every in-edge of `u` before any (u, v).
+    let mut seen = dag.edge_set();
+    let mut in_done = vec![0usize; n];
+    for &e in edges {
+        if e.index() >= dag.edge_count() || seen.contains(e.index()) {
+            return None;
+        }
+        seen.insert(e.index());
+        let (u, v) = dag.edge_endpoints(e);
+        if in_done[u.index()] != dag.in_degree(u) {
+            return None;
+        }
+        in_done[v.index()] += 1;
+    }
+
+    // Next-use over edge positions: for each node, the ascending positions
+    // at which it is an endpoint.
+    let mut occurrences: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (t, &e) in edges.iter().enumerate() {
+        let (u, v) = dag.edge_endpoints(e);
+        occurrences[u.index()].push(t as u32);
+        occurrences[v.index()].push(t as u32);
+    }
+    let mut cursor = vec![0u32; n];
+
+    let mut red = Vec::new(); // current red nodes (order irrelevant)
+    let mut is_red = vec![false; n];
+    let mut last_use = vec![0usize; n];
+    let mut builder = PrbpBuilder::new(dag, PrbpConfig::new(r));
+    let mut candidates: Vec<Candidate> = Vec::with_capacity(r);
+
+    for (t, &e) in edges.iter().enumerate() {
+        let (u, v) = dag.edge_endpoints(e);
+        let mut needed = 0;
+        if !is_red[u.index()] {
+            needed += 1;
+        }
+        if !is_red[v.index()] {
+            needed += 1;
+        }
+        while red.len() + needed > r {
+            candidates.clear();
+            for &w in &red {
+                let w: NodeId = w;
+                if w == u || w == v {
+                    continue;
+                }
+                let game = builder.game();
+                let remaining = game.unmarked_out_degree(w);
+                let dark = game.pebble_state(w) == pebble_game::PebbleState::DarkRed;
+                let free = !dark || (remaining == 0 && !dag.is_sink(w));
+                let next_use = if remaining == 0 {
+                    NEVER
+                } else {
+                    let occ = &occurrences[w.index()];
+                    let mut c = cursor[w.index()] as usize;
+                    while c < occ.len() && occ[c] as usize <= t {
+                        c += 1;
+                    }
+                    cursor[w.index()] = c as u32;
+                    occ.get(c).map(|&p| p as usize).unwrap_or(NEVER)
+                };
+                candidates.push(Candidate {
+                    node: w,
+                    next_use,
+                    last_use: last_use[w.index()],
+                    remaining_consumers: remaining,
+                    free,
+                });
+            }
+            let victim = candidates[policy.choose(&candidates)].node;
+            builder.evict(victim).expect("victim is evictable");
+            remove_red(&mut red, &mut is_red, victim);
+        }
+        if !is_red[u.index()] {
+            // `u` is fully computed (source-completeness) and not red: its
+            // value was saved when it was evicted, so a blue copy exists.
+            builder.ensure_red(u).expect("u has a blue copy");
+            insert_red(&mut red, &mut is_red, u);
+        }
+        if !is_red[v.index()] {
+            if builder.game().pebble_state(v) == PebbleState::Blue {
+                // A partially aggregated value that was spilled: bring it
+                // back before aggregating into it (a blue-only target would
+                // lose its partial value).
+                builder.push(PrbpMove::Load(v)).expect("v has a blue copy");
+            }
+            insert_red(&mut red, &mut is_red, v);
+        }
+        builder
+            .push(PrbpMove::PartialCompute { from: u, to: v })
+            .expect("edge aggregation is legal");
+        last_use[u.index()] = t + 1;
+        last_use[v.index()] = t + 1;
+        // A fully consumed non-sink input dies immediately, freeing its slot.
+        if builder.game().unmarked_out_degree(u) == 0 && !dag.is_sink(u) {
+            builder.evict(u).expect("dead value evicts for free");
+            remove_red(&mut red, &mut is_red, u);
+        }
+        // A completed sink is saved and dropped on the spot.
+        if dag.is_sink(v) && builder.game().unmarked_in_degree(v) == 0 {
+            builder.push(PrbpMove::Save(v)).expect("sink is dark red");
+            builder.push(PrbpMove::Delete(v)).expect("light red delete");
+            remove_red(&mut red, &mut is_red, v);
+        }
+    }
+    let (trace, game) = builder.finish();
+    debug_assert!(game.is_terminal());
+    Some(trace)
+}
+
+fn insert_red(red: &mut Vec<NodeId>, is_red: &mut [bool], v: NodeId) {
+    if !is_red[v.index()] {
+        is_red[v.index()] = true;
+        red.push(v);
+    }
+}
+
+fn remove_red(red: &mut Vec<NodeId>, is_red: &mut [bool], v: NodeId) {
+    debug_assert!(is_red[v.index()]);
+    is_red[v.index()] = false;
+    let pos = red.iter().position(|&w| w == v).expect("red member");
+    red.swap_remove(pos);
+}
+
+/// A shared-input-affinity edge order for DAGs whose non-source nodes all
+/// have out-degree ≤ 1 (sink-cone components): process the cone nodes by
+/// (level, descending-sorted predecessor ids); at each node emit its
+/// source in-edges followed by its single out-edge. Accumulators absorb one
+/// input at a time while consumers of the same source run back to back.
+/// Returns `None` when some non-source node has out-degree ≥ 2.
+pub fn cone_affinity_edges(dag: &Dag) -> Option<Vec<EdgeId>> {
+    let n = dag.node_count();
+    for v in dag.nodes() {
+        if !dag.is_source(v) && dag.out_degree(v) > 1 {
+            return None;
+        }
+    }
+    let levels = pebble_dag::topo::levels(dag);
+    let mut pi: Vec<NodeId> = dag.nodes().filter(|&v| !dag.is_source(v)).collect();
+    let key: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let v = NodeId::from_index(i);
+            if dag.is_source(v) {
+                Vec::new()
+            } else {
+                let mut preds: Vec<usize> = dag.predecessors(v).map(|u| u.index()).collect();
+                preds.sort_unstable_by(|a, b| b.cmp(a));
+                preds
+            }
+        })
+        .collect();
+    pi.sort_by(|&a, &b| {
+        (levels[a.index()], &key[a.index()], a.index()).cmp(&(
+            levels[b.index()],
+            &key[b.index()],
+            b.index(),
+        ))
+    });
+    let mut edges = Vec::with_capacity(dag.edge_count());
+    for &v in &pi {
+        for &(u, e) in dag.in_edges(v) {
+            if dag.is_source(u) {
+                edges.push(e);
+            }
+        }
+        if let Some(&(_, e)) = dag.out_edges(v).first() {
+            edges.push(e);
+        }
+    }
+    debug_assert_eq!(edges.len(), dag.edge_count());
+    Some(edges)
+}
+
+/// The by-target edge order equivalent to running [`crate::greedy_prbp`] on
+/// `order`: for each node of the order, its in-edges in CSR order. Useful as
+/// a baseline edge sequence and in tests.
+pub fn by_target_edges(dag: &Dag, order: &[NodeId]) -> Vec<EdgeId> {
+    let mut edges = Vec::with_capacity(dag.edge_count());
+    for &v in order {
+        for &(_, e) in dag.in_edges(v) {
+            edges.push(e);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order;
+    use crate::policy::FurthestInFuture;
+    use pebble_dag::generators::{attention_qk, fft, matmul};
+
+    #[test]
+    fn by_target_edges_match_node_greedy_validity() {
+        let dag = fft(16).dag;
+        let ord = order::natural(&dag);
+        let edges = by_target_edges(&dag, &ord);
+        let trace = greedy_prbp_edges(&dag, 4, &edges, &mut FurthestInFuture).unwrap();
+        assert!(trace.validate(&dag, PrbpConfig::new(4)).is_ok());
+    }
+
+    #[test]
+    fn invalid_edge_sequences_are_rejected() {
+        let dag = fft(8).dag;
+        let ord = order::natural(&dag);
+        let edges = by_target_edges(&dag, &ord);
+        let mut rev = edges.clone();
+        rev.reverse();
+        assert!(greedy_prbp_edges(&dag, 4, &rev, &mut FurthestInFuture).is_none());
+        assert!(greedy_prbp_edges(&dag, 4, &edges[1..], &mut FurthestInFuture).is_none());
+        let mut dup = edges.clone();
+        dup[0] = dup[1];
+        assert!(greedy_prbp_edges(&dag, 4, &dup, &mut FurthestInFuture).is_none());
+        assert!(greedy_prbp_edges(&dag, 1, &edges, &mut FurthestInFuture).is_none());
+    }
+
+    #[test]
+    fn cone_order_streams_matmul_accumulators() {
+        // On a matmul the affinity edge order visits products k-major and
+        // forwards each product into its accumulator immediately, so the
+        // working set is accumulators + one input row/column — far below
+        // what the node-order greedy needs for the same instance.
+        let mm = matmul(4, 4, 4).dag;
+        let r = 4 * 4 + 2 * 4 + 2; // t² accumulators + 2t inputs + transient
+        let edges = cone_affinity_edges(&mm).unwrap();
+        let trace = greedy_prbp_edges(&mm, r, &edges, &mut FurthestInFuture).unwrap();
+        let cost = trace.validate(&mm, PrbpConfig::new(r)).unwrap();
+        // Spill-free: every source loaded once, every sink saved once.
+        assert_eq!(cost, mm.trivial_cost());
+
+        let ord = order::dfs_postorder(&mm);
+        let node_trace = crate::greedy_prbp(&mm, r, &ord, &mut FurthestInFuture).unwrap();
+        let node_cost = node_trace.validate(&mm, PrbpConfig::new(r)).unwrap();
+        assert!(cost <= node_cost);
+    }
+
+    #[test]
+    fn cone_order_applies_to_attention_qk() {
+        let att = attention_qk(4, 2).dag;
+        let edges = cone_affinity_edges(&att).unwrap();
+        let r = 16 + 2 * 4 * 2 + 2;
+        let trace = greedy_prbp_edges(&att, r, &edges, &mut FurthestInFuture).unwrap();
+        assert_eq!(
+            trace.validate(&att, PrbpConfig::new(r)).unwrap(),
+            att.trivial_cost()
+        );
+    }
+
+    #[test]
+    fn cone_order_rejects_fanout_dags() {
+        assert!(cone_affinity_edges(&fft(8).dag).is_none());
+    }
+
+    #[test]
+    fn spilled_accumulators_reload_correctly() {
+        // Tiny cache on a matmul forces accumulator spills; the executor
+        // must reload blue-only partial values before aggregating into them.
+        let mm = matmul(3, 3, 3).dag;
+        let edges = cone_affinity_edges(&mm).unwrap();
+        for r in [2usize, 3, 4, 6] {
+            let trace = greedy_prbp_edges(&mm, r, &edges, &mut FurthestInFuture).unwrap();
+            let cost = trace.validate(&mm, PrbpConfig::new(r)).unwrap();
+            assert!(cost >= mm.trivial_cost());
+        }
+    }
+}

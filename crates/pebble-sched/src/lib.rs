@@ -28,11 +28,21 @@
 //! * [`local`] — seeded local-search refinement (eviction re-decisions +
 //!   topology-preserving segment re-ordering) that only ever accepts
 //!   strictly cheaper, simulator-validated schedules.
+//! * [`edges`] — the edge-order greedy executor: PRBP partial computes
+//!   scheduled one edge at a time, which makes streaming-accumulator
+//!   (tiled matmul / attention) access patterns expressible generically.
+//! * [`compose`] — structure-aware divide-and-conquer: decompose
+//!   ([`pebble_dag::decompose`]), schedule components independently (exact
+//!   A* below a node budget, portfolio above, dispatched across scoped
+//!   threads), stitch with boundary-aware eviction, and certify against the
+//!   composable lower bounds of `pebble-bounds`.
 //! * [`suite`] — the named portfolio the experiments and benchmarks sweep.
 
 #![deny(missing_docs)]
 
 pub mod beam;
+pub mod compose;
+pub mod edges;
 pub mod greedy;
 pub mod local;
 pub mod order;
@@ -41,11 +51,14 @@ pub mod report;
 pub mod suite;
 
 pub use beam::{beam_prbp, BeamConfig};
+pub use compose::{compose_prbp, compose_prbp_report, ComposeConfig, ComposeOutcome};
+pub use edges::{cone_affinity_edges, greedy_prbp_edges};
 pub use greedy::{greedy_prbp, greedy_prbp_into, greedy_rbp, greedy_rbp_into};
 pub use local::{local_search_prbp, LocalSearchConfig};
 pub use policy::{Candidate, EvictionPolicy, FewestRemainingConsumers, FurthestInFuture, Lru};
 pub use report::{
-    certify_greedy_prbp, certify_greedy_rbp, certify_prbp, certify_prbp_with, certify_rbp,
-    certify_rbp_with, prbp_bound_ladder, rbp_bound_ladder, BoundSet, BoundValue, ScheduleReport,
+    certify_greedy_prbp, certify_greedy_rbp, certify_prbp, certify_prbp_with,
+    certify_prbp_with_bounds, certify_rbp, certify_rbp_with, prbp_bound_ladder, rbp_bound_ladder,
+    BoundSet, BoundValue, ScheduleReport,
 };
 pub use suite::{best_prbp, default_suite, OrderKind, PolicyKind, Scheduler};

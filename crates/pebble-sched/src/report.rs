@@ -214,6 +214,26 @@ pub fn certify_prbp_with(
     ))
 }
 
+/// [`certify_prbp_with`] with additional caller-supplied admissible bounds
+/// appended to the ladder (e.g. the composable decomposition bound of
+/// `pebble-bounds::compose`). The caller vouches for the admissibility of
+/// `extra`; `best_bound` is the maximum over the combined ladder.
+pub fn certify_prbp_with_bounds(
+    dag: &Dag,
+    r: usize,
+    trace: &PrbpTrace,
+    scheduler: impl Into<String>,
+    set: BoundSet,
+    extra: Vec<BoundValue>,
+) -> Result<ScheduleReport, TraceError<PrbpError>> {
+    let mut report = certify_prbp_with(dag, r, trace, scheduler, set)?;
+    for bound in extra {
+        report.best_bound = report.best_bound.max(bound.value);
+        report.bounds.push(bound);
+    }
+    Ok(report)
+}
+
 /// [`certify_prbp_with`] using the full bound ladder.
 pub fn certify_prbp(
     dag: &Dag,

@@ -126,6 +126,15 @@ pub enum Scheduler {
         /// Segment-move proposals.
         iterations: usize,
     },
+    /// Structure-aware divide-and-conquer: decompose (weak components /
+    /// level bands / sink-cone tiles), schedule each component independently
+    /// (exact A* below the node budget), stitch with boundary-aware
+    /// eviction. Never worse than the plain portfolio, which participates
+    /// as the single-component candidate. PRBP-only.
+    Compose {
+        /// Node budget below which components are solved exactly.
+        exact_budget: usize,
+    },
 }
 
 impl fmt::Display for Scheduler {
@@ -137,6 +146,13 @@ impl fmt::Display for Scheduler {
             }
             Scheduler::Beam { width, .. } => write!(f, "beam:{width}"),
             Scheduler::Local { iterations } => write!(f, "local:{iterations}"),
+            Scheduler::Compose { exact_budget } => {
+                if exact_budget == crate::compose::DEFAULT_EXACT_BUDGET {
+                    write!(f, "compose")
+                } else {
+                    write!(f, "compose:{exact_budget}")
+                }
+            }
         }
     }
 }
@@ -197,9 +213,21 @@ impl std::str::FromStr for Scheduler {
                 }
                 Ok(Scheduler::Local { iterations })
             }
+            "compose" => {
+                let exact_budget: usize = match parts.next() {
+                    Some(b) => b
+                        .parse()
+                        .map_err(|_| format!("invalid exact budget in `{s}`"))?,
+                    None => crate::compose::DEFAULT_EXACT_BUDGET,
+                };
+                if parts.next().is_some() {
+                    return Err(format!("trailing components in scheduler `{s}`"));
+                }
+                Ok(Scheduler::Compose { exact_budget })
+            }
             other => Err(format!(
                 "unknown scheduler `{other}` (expected baseline, greedy:<policy>:<order>, \
-                 beam:<width>[:<branch>] or local:<iterations>)"
+                 beam:<width>[:<branch>], local:<iterations> or compose[:<budget>])"
             )),
         }
     }
@@ -226,11 +254,18 @@ impl Scheduler {
                 },
             )
             .map(|(trace, _)| trace),
+            Scheduler::Compose { exact_budget } => crate::compose::compose_prbp(
+                dag,
+                r,
+                &crate::compose::ComposeConfig::with_exact_budget(exact_budget),
+            )
+            .map(|outcome| outcome.trace),
         }
     }
 
-    /// Run this scheduler in RBP. Beam and local search are PRBP-only and
-    /// return `None`; the others return `None` when `r < Δ_in + 1`.
+    /// Run this scheduler in RBP. Beam, local search and compose are
+    /// PRBP-only and return `None`; the others return `None` when
+    /// `r < Δ_in + 1`.
     pub fn run_rbp(self, dag: &Dag, r: usize) -> Option<RbpTrace> {
         match self {
             Scheduler::Baseline => topological::rbp_topological(dag, r),
@@ -238,7 +273,7 @@ impl Scheduler {
                 let ord = order.build(dag);
                 greedy_rbp(dag, r, &ord, policy.build().as_mut())
             }
-            Scheduler::Beam { .. } | Scheduler::Local { .. } => None,
+            Scheduler::Beam { .. } | Scheduler::Local { .. } | Scheduler::Compose { .. } => None,
         }
     }
 }

@@ -39,6 +39,7 @@ USAGE:
                 [--scheduler S] [--bounds fast|full|auto] [--out PATH]
       S: greedy:<belady|lru|fewest>:<natural|dfs> (default greedy:belady:dfs,
          streaming), beam:<width>[:<branch>], local:<iterations>, baseline,
+         compose[:<exact-budget>] (structure-aware decomposition; PRBP only),
          or `suite` (best of the default portfolio; materialises traces)
   prbp bound --input PATH --r <cache> [--model prbp|rbp] [--format F]
              [--bounds fast|full|auto] [--out PATH]
