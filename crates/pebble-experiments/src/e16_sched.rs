@@ -81,7 +81,9 @@ fn local_refine() -> Scheduler {
 /// member on the small and mid-size PRBP instances so the committed
 /// benchmark baseline tracks its costs.
 fn compose() -> Scheduler {
-    Scheduler::Compose { exact_budget: 20 }
+    Scheduler::Compose {
+        exact_budget: pebble_sched::compose::DEFAULT_EXACT_BUDGET,
+    }
 }
 
 /// The scheduling corpus. All instances are deterministic; the committed

@@ -45,6 +45,11 @@ pub struct ComposeInstance {
     /// `Some(cap)`: the certified gap must be at most `cap` (the structured
     /// families).
     pub gap_cap: Option<f64>,
+    /// `Some(cost)`: the replayed cost must not regress past this pinned
+    /// value — the cost each structured row achieved when the pin was
+    /// last reviewed (gaps are ratios and round in the table, so the
+    /// regression gate is the exact integer cost).
+    pub cost_cap: Option<usize>,
     /// The instance is within exact reach and compose must return the
     /// optimum.
     pub expect_exact: bool,
@@ -102,6 +107,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 16,
             dag: fft(64).dag,
             gap_cap: Some(2.5),
+            cost_cap: Some(256),
             expect_exact: false,
         },
         ComposeInstance {
@@ -109,6 +115,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 64,
             dag: fft(256).dag,
             gap_cap: Some(2.5),
+            cost_cap: Some(1024),
             expect_exact: false,
         },
         ComposeInstance {
@@ -116,6 +123,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 24,
             dag: matmul(8, 8, 8).dag,
             gap_cap: Some(2.5),
+            cost_cap: Some(320),
             expect_exact: false,
         },
         ComposeInstance {
@@ -123,6 +131,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 64,
             dag: matmul(16, 16, 16).dag,
             gap_cap: Some(2.5),
+            cost_cap: Some(1792),
             expect_exact: false,
         },
         ComposeInstance {
@@ -130,6 +139,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 68,
             dag: attention_qk(16, 4).dag,
             gap_cap: Some(2.5),
+            cost_cap: Some(455),
             expect_exact: false,
         },
         ComposeInstance {
@@ -137,6 +147,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 3,
             dag: binary_tree(3),
             gap_cap: None,
+            cost_cap: None,
             expect_exact: true,
         },
         ComposeInstance {
@@ -144,6 +155,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 3,
             dag: sp_gadget(),
             gap_cap: None,
+            cost_cap: None,
             expect_exact: true,
         },
         ComposeInstance {
@@ -151,6 +163,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
             r: 3,
             dag: tree_forest(6),
             gap_cap: None,
+            cost_cap: None,
             expect_exact: true,
         },
         ComposeInstance {
@@ -163,6 +176,7 @@ pub fn corpus() -> Vec<ComposeInstance> {
                 seed: 5,
             }),
             gap_cap: None,
+            cost_cap: None,
             expect_exact: false,
         },
     ]
@@ -250,6 +264,9 @@ pub fn run_with_threads(threads: usize) -> Table {
         if let Some(cap) = inst.gap_cap {
             t.check(row.report.gap() <= cap);
         }
+        if let Some(cost_cap) = inst.cost_cap {
+            t.check(row.outcome.cost <= cost_cap);
+        }
         if inst.expect_exact {
             if inst.dag.node_count() <= 20 {
                 // Within whole-instance A* reach: compare to the optimum.
@@ -296,6 +313,7 @@ mod tests {
             );
         }
         assert!(c.iter().filter(|i| i.gap_cap.is_some()).count() >= 5);
+        assert!(c.iter().filter(|i| i.cost_cap.is_some()).count() >= 5);
         assert!(c.iter().filter(|i| i.expect_exact).count() >= 3);
     }
 

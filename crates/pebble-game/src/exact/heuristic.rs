@@ -37,12 +37,12 @@ pub struct RbpStateView<'a> {
 
 #[inline]
 fn plane_get(words: &[u64], plane: usize, w: usize, i: usize) -> bool {
-    super::state::get(&words[plane * w..(plane + 1) * w], i)
+    crate::packed::get(&words[plane * w..(plane + 1) * w], i)
 }
 
 impl<'a> RbpStateView<'a> {
     pub(crate) fn new(words: &'a [u64], n: usize) -> Self {
-        let w = super::state::plane_words(n);
+        let w = crate::packed::plane_words(n);
         debug_assert_eq!(words.len(), 3 * w);
         RbpStateView { words, n, w }
     }
@@ -100,8 +100,8 @@ pub struct PrbpStateView<'a> {
 
 impl<'a> PrbpStateView<'a> {
     pub(crate) fn new(words: &'a [u64], n: usize, m: usize) -> Self {
-        let wn = super::state::plane_words(n);
-        debug_assert_eq!(words.len(), 2 * wn + super::state::plane_words(m));
+        let wn = crate::packed::plane_words(n);
+        debug_assert_eq!(words.len(), 2 * wn + crate::packed::plane_words(m));
         PrbpStateView { words, n, m, wn }
     }
 

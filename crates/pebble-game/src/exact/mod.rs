@@ -4,9 +4,17 @@
 //! the search is the full pebble placement (plus edge markings for PRBP),
 //! transitions are the individual game moves, and the edge weights are the
 //! I/O costs (compute and delete moves are free). States are stored in a
-//! canonical packed encoding (`exact/state.rs`) and deduplicated through a
+//! canonical packed encoding ([`crate::packed`]) and deduplicated through a
 //! transposition table, so revisiting a configuration costs one hash lookup
 //! and no fresh allocations.
+//!
+//! Since PR 6 the search itself lives in the unified anytime engine
+//! ([`crate::engine`]); the entry points here are thin wrappers that run the
+//! engine sequentially with a distinct-state budget, which reproduces the
+//! historical solver behaviour (and statistics) exactly. Callers that want
+//! deadlines, cancellation, incumbent streaming or multi-worker solves
+//! should use [`crate::engine::solve_rbp`] / [`crate::engine::solve_prbp`]
+//! directly.
 //!
 //! The heuristic is pluggable: anything implementing [`LowerBound`] — an
 //! *admissible* lower bound on the remaining I/O — can guide the search
@@ -23,12 +31,10 @@
 //! [`SearchConfig::max_states`] limit guards against runaway instances.
 
 pub mod heuristic;
-mod prbp_solver;
-mod rbp_solver;
-mod state;
 
 pub use heuristic::{LoadCountHeuristic, LowerBound, PrbpStateView, RbpStateView, ZeroHeuristic};
 
+use crate::engine::{self, EngineConfig, HeuristicSpec};
 use crate::moves::Model;
 use crate::prbp::PrbpConfig;
 use crate::rbp::RbpConfig;
@@ -91,6 +97,13 @@ pub enum ExactError {
         /// Number of states explored when the search stopped.
         explored: usize,
     },
+    /// An anytime solve was stopped (deadline or cancellation) before any
+    /// incumbent schedule was found. Only engine solves with a deadline or
+    /// cancel token can produce this.
+    Interrupted {
+        /// Number of states explored when the solve was stopped.
+        explored: usize,
+    },
 }
 
 impl fmt::Display for ExactError {
@@ -100,11 +113,24 @@ impl fmt::Display for ExactError {
             ExactError::StateLimitExceeded { explored } => {
                 write!(f, "state limit exceeded after exploring {explored} states")
             }
+            ExactError::Interrupted { explored } => {
+                write!(
+                    f,
+                    "solve interrupted after exploring {explored} states with no incumbent"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ExactError {}
+
+fn sequential_budget(search: SearchConfig) -> EngineConfig {
+    EngineConfig {
+        node_budget: Some(search.max_states),
+        ..EngineConfig::default()
+    }
+}
 
 /// Optimal I/O cost of pebbling `dag` under `config` (default heuristic).
 pub fn optimal_rbp_cost(
@@ -133,8 +159,18 @@ pub fn optimal_rbp_cost_with(
     search: SearchConfig,
     heuristic: &dyn LowerBound,
 ) -> Result<Solved, ExactError> {
-    rbp_solver::solve_with(dag, config, search, heuristic, false)
-        .map(|(cost, stats, _)| Solved { cost, stats })
+    engine::solve_rbp(
+        dag,
+        config,
+        &sequential_budget(search),
+        HeuristicSpec::Single(heuristic),
+        None,
+        None,
+    )
+    .map(|out| Solved {
+        cost: out.cost,
+        stats: out.stats,
+    })
 }
 
 /// Optimal RBP cost, statistics and one optimal trace under an explicit A*
@@ -145,10 +181,21 @@ pub fn optimal_rbp_trace_with(
     search: SearchConfig,
     heuristic: &dyn LowerBound,
 ) -> Result<(Solved, RbpTrace), ExactError> {
-    rbp_solver::solve_with(dag, config, search, heuristic, true).map(|(cost, stats, trace)| {
+    engine::solve_rbp(
+        dag,
+        config,
+        &sequential_budget(search),
+        HeuristicSpec::Single(heuristic),
+        None,
+        None,
+    )
+    .map(|out| {
         (
-            Solved { cost, stats },
-            trace.expect("trace requested from solver"),
+            Solved {
+                cost: out.cost,
+                stats: out.stats,
+            },
+            out.trace,
         )
     })
 }
@@ -181,8 +228,18 @@ pub fn optimal_prbp_cost_with(
     search: SearchConfig,
     heuristic: &dyn LowerBound,
 ) -> Result<Solved, ExactError> {
-    prbp_solver::solve_with(dag, config, search, heuristic, false)
-        .map(|(cost, stats, _)| Solved { cost, stats })
+    engine::solve_prbp(
+        dag,
+        config,
+        &sequential_budget(search),
+        HeuristicSpec::Single(heuristic),
+        None,
+        None,
+    )
+    .map(|out| Solved {
+        cost: out.cost,
+        stats: out.stats,
+    })
 }
 
 /// Optimal PRBP cost, statistics and one optimal trace under an explicit A*
@@ -193,10 +250,21 @@ pub fn optimal_prbp_trace_with(
     search: SearchConfig,
     heuristic: &dyn LowerBound,
 ) -> Result<(Solved, PrbpTrace), ExactError> {
-    prbp_solver::solve_with(dag, config, search, heuristic, true).map(|(cost, stats, trace)| {
+    engine::solve_prbp(
+        dag,
+        config,
+        &sequential_budget(search),
+        HeuristicSpec::Single(heuristic),
+        None,
+        None,
+    )
+    .map(|out| {
         (
-            Solved { cost, stats },
-            trace.expect("trace requested from solver"),
+            Solved {
+                cost: out.cost,
+                stats: out.stats,
+            },
+            out.trace,
         )
     })
 }
@@ -206,7 +274,7 @@ pub fn optimal_prbp_trace_with(
 /// valid lower bound on `OPT_RBP`, which makes it directly comparable to the
 /// exact optimum in tests and experiments.
 pub fn rbp_initial_bound(dag: &Dag, config: RbpConfig, heuristic: &dyn LowerBound) -> usize {
-    let words = rbp_solver::start_words(dag);
+    let words = engine::rbp_start_words(dag);
     heuristic.rbp_bound(dag, config, &RbpStateView::new(&words, dag.node_count()))
 }
 
@@ -214,7 +282,7 @@ pub fn rbp_initial_bound(dag: &Dag, config: RbpConfig, heuristic: &dyn LowerBoun
 /// sources, all edges unmarked). For an admissible heuristic this is a valid
 /// lower bound on `OPT_PRBP`.
 pub fn prbp_initial_bound(dag: &Dag, config: PrbpConfig, heuristic: &dyn LowerBound) -> usize {
-    let words = prbp_solver::start_words(dag);
+    let words = engine::prbp_start_words(dag);
     heuristic.prbp_bound(
         dag,
         config,
@@ -262,6 +330,9 @@ mod tests {
         assert!(ExactError::StateLimitExceeded { explored: 7 }
             .to_string()
             .contains('7'));
+        assert!(ExactError::Interrupted { explored: 9 }
+            .to_string()
+            .contains("interrupted"));
     }
 
     #[test]
@@ -306,5 +377,274 @@ mod tests {
         assert!(h <= optimal_cost(&g, 3, Model::Rbp).unwrap());
         let h = prbp_initial_bound(&g, PrbpConfig::new(2), &LoadCountHeuristic);
         assert!(h <= optimal_cost(&g, 2, Model::Prbp).unwrap());
+    }
+
+    mod rbp {
+        use super::super::*;
+        use pebble_dag::generators::{binary_tree, fig1_full, pyramid};
+        use pebble_dag::DagBuilder;
+
+        #[test]
+        fn chain_has_trivial_cost_only() {
+            let mut b = DagBuilder::new();
+            let n = b.add_nodes(4);
+            for w in n.windows(2) {
+                b.add_edge(w[0], w[1]);
+            }
+            let g = b.build().unwrap();
+            assert_eq!(
+                optimal_rbp_cost(&g, RbpConfig::new(2), SearchConfig::default()).unwrap(),
+                2
+            );
+        }
+
+        #[test]
+        fn infeasible_when_cache_too_small() {
+            let mut b = DagBuilder::new();
+            let n = b.add_nodes(3);
+            b.add_edge(n[0], n[2]);
+            b.add_edge(n[1], n[2]);
+            let g = b.build().unwrap();
+            assert_eq!(
+                optimal_rbp_cost(&g, RbpConfig::new(2), SearchConfig::default()),
+                Err(ExactError::Unsolvable)
+            );
+            // Sliding reduces the requirement by one pebble.
+            assert_eq!(
+                optimal_rbp_cost(
+                    &g,
+                    RbpConfig::new(2).with_sliding(),
+                    SearchConfig::default()
+                )
+                .unwrap(),
+                3
+            );
+        }
+
+        #[test]
+        fn fig1_optimum_is_three_with_r4() {
+            // Proposition 4.2: OPT_RBP = 3.
+            let f = fig1_full();
+            assert_eq!(
+                optimal_rbp_cost(&f.dag, RbpConfig::new(4), SearchConfig::default()).unwrap(),
+                3
+            );
+        }
+
+        #[test]
+        fn fig1_recomputation_reaches_two() {
+            // Appendix B.1: with re-computation, OPT_RBP drops to 2 on Figure 1.
+            let f = fig1_full();
+            assert_eq!(
+                optimal_rbp_cost(
+                    &f.dag,
+                    RbpConfig::new(4).with_recompute(),
+                    SearchConfig::default()
+                )
+                .unwrap(),
+                2
+            );
+        }
+
+        #[test]
+        fn fig1_sliding_reaches_two() {
+            // Appendix B.2: with sliding pebbles, OPT_RBP also drops to 2 on
+            // Figure 1.
+            let f = fig1_full();
+            assert_eq!(
+                optimal_rbp_cost(
+                    &f.dag,
+                    RbpConfig::new(4).with_sliding(),
+                    SearchConfig::default()
+                )
+                .unwrap(),
+                2
+            );
+        }
+
+        #[test]
+        fn binary_tree_depth2_matches_formula() {
+            // Appendix A.2 formula: the non-trivial I/O is 2^d - 2 and the
+            // trivial cost is 2^d + 1 for depth d with r = 3.
+            let d = 2;
+            let g = binary_tree(d);
+            let expected = (1usize << d) + 1 + ((1usize << d) - 2);
+            assert_eq!(
+                optimal_rbp_cost(&g, RbpConfig::new(3), SearchConfig::default()).unwrap(),
+                expected
+            );
+        }
+
+        #[test]
+        fn optimal_trace_replays_to_optimal_cost() {
+            let f = fig1_full();
+            let (cost, trace) =
+                optimal_rbp_trace(&f.dag, RbpConfig::new(4), SearchConfig::default()).unwrap();
+            assert_eq!(cost, 3);
+            assert_eq!(trace.validate(&f.dag, RbpConfig::new(4)).unwrap(), 3);
+        }
+
+        #[test]
+        fn pyramid_with_ample_cache_has_trivial_cost() {
+            let p = pyramid(4);
+            let trivial = p.dag.trivial_cost();
+            assert_eq!(
+                optimal_rbp_cost(&p.dag, RbpConfig::new(10), SearchConfig::default()).unwrap(),
+                trivial
+            );
+        }
+
+        #[test]
+        fn state_limit_is_reported() {
+            let f = fig1_full();
+            let result =
+                optimal_rbp_cost(&f.dag, RbpConfig::new(4), SearchConfig::with_max_states(3));
+            assert!(matches!(result, Err(ExactError::StateLimitExceeded { .. })));
+        }
+
+        #[test]
+        fn stats_are_populated_and_zero_expands_more() {
+            let f = fig1_full();
+            let zero = optimal_rbp_cost_with(
+                &f.dag,
+                RbpConfig::new(4),
+                SearchConfig::default(),
+                &ZeroHeuristic,
+            )
+            .unwrap();
+            let load = optimal_rbp_cost_with(
+                &f.dag,
+                RbpConfig::new(4),
+                SearchConfig::default(),
+                &LoadCountHeuristic,
+            )
+            .unwrap();
+            assert_eq!(zero.cost, load.cost);
+            assert!(zero.stats.expanded > 0 && load.stats.expanded > 0);
+            assert!(load.stats.expanded <= zero.stats.expanded);
+            assert!(load.stats.distinct > 0);
+        }
+    }
+
+    mod prbp {
+        use super::super::*;
+        use pebble_dag::generators::{fig1_full, fig1_gadget};
+        use pebble_dag::DagBuilder;
+
+        #[test]
+        fn chain_needs_only_trivial_cost_with_r2() {
+            let mut b = DagBuilder::new();
+            let n = b.add_nodes(5);
+            for w in n.windows(2) {
+                b.add_edge(w[0], w[1]);
+            }
+            let g = b.build().unwrap();
+            assert_eq!(
+                optimal_prbp_cost(&g, PrbpConfig::new(2), SearchConfig::default()).unwrap(),
+                2
+            );
+        }
+
+        #[test]
+        fn high_in_degree_node_pebbled_with_two_reds() {
+            // A single aggregation node with 4 inputs: RBP would need r = 5,
+            // PRBP manages with r = 2 at trivial cost.
+            let mut b = DagBuilder::new();
+            let srcs = b.add_nodes(4);
+            let sink = b.add_node();
+            for &s in &srcs {
+                b.add_edge(s, sink);
+            }
+            let g = b.build().unwrap();
+            assert_eq!(
+                optimal_prbp_cost(&g, PrbpConfig::new(2), SearchConfig::default()).unwrap(),
+                5
+            );
+        }
+
+        #[test]
+        fn cache_of_one_is_unsolvable() {
+            let mut b = DagBuilder::new();
+            let n = b.add_nodes(2);
+            b.add_edge(n[0], n[1]);
+            let g = b.build().unwrap();
+            assert_eq!(
+                optimal_prbp_cost(&g, PrbpConfig::new(1), SearchConfig::default()),
+                Err(ExactError::Unsolvable)
+            );
+        }
+
+        #[test]
+        fn fig1_optimum_is_two_with_r4() {
+            // Proposition 4.2: OPT_PRBP = 2.
+            let f = fig1_full();
+            assert_eq!(
+                optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap(),
+                2
+            );
+        }
+
+        #[test]
+        fn fig1_gadget_alone_costs_four_with_r4() {
+            // The standalone 8-node gadget: 2 sources + 2 sinks = trivial
+            // cost 4, and PRBP achieves it.
+            let g = fig1_gadget();
+            assert_eq!(
+                optimal_prbp_cost(&g.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap(),
+                4
+            );
+        }
+
+        #[test]
+        fn optimal_trace_replays_to_optimal_cost() {
+            let f = fig1_full();
+            let (cost, trace) =
+                optimal_prbp_trace(&f.dag, PrbpConfig::new(4), SearchConfig::default()).unwrap();
+            assert_eq!(cost, 2);
+            assert_eq!(trace.validate(&f.dag, PrbpConfig::new(4)).unwrap(), 2);
+        }
+
+        #[test]
+        fn prbp_never_beats_rbp_from_below_on_chain() {
+            // Sanity: on a plain chain both models have the same optimum.
+            let mut b = DagBuilder::new();
+            let n = b.add_nodes(4);
+            for w in n.windows(2) {
+                b.add_edge(w[0], w[1]);
+            }
+            let g = b.build().unwrap();
+            let rbp = optimal_rbp_cost(&g, RbpConfig::new(2), SearchConfig::default()).unwrap();
+            let prbp = optimal_prbp_cost(&g, PrbpConfig::new(2), SearchConfig::default()).unwrap();
+            assert_eq!(rbp, prbp);
+        }
+
+        #[test]
+        fn state_limit_is_reported() {
+            let f = fig1_full();
+            let result =
+                optimal_prbp_cost(&f.dag, PrbpConfig::new(4), SearchConfig::with_max_states(3));
+            assert!(matches!(result, Err(ExactError::StateLimitExceeded { .. })));
+        }
+
+        #[test]
+        fn stats_are_populated_and_zero_expands_more() {
+            let f = fig1_full();
+            let zero = optimal_prbp_cost_with(
+                &f.dag,
+                PrbpConfig::new(4),
+                SearchConfig::default(),
+                &ZeroHeuristic,
+            )
+            .unwrap();
+            let load = optimal_prbp_cost_with(
+                &f.dag,
+                PrbpConfig::new(4),
+                SearchConfig::default(),
+                &LoadCountHeuristic,
+            )
+            .unwrap();
+            assert_eq!(zero.cost, load.cost);
+            assert!(load.stats.expanded <= zero.stats.expanded);
+        }
     }
 }

@@ -26,9 +26,12 @@
 //!
 //! ## Tooling
 //!
+//! * [`engine`] — the unified anytime search engine: cancellable,
+//!   deadline-bounded, optionally parallel A* and beam search with a
+//!   validated-incumbent channel; every solver below runs on it.
 //! * [`exact`] — optimal-cost solvers (uniform-cost search over pebbling
 //!   configurations) for small DAGs, used to reproduce the paper's
-//!   propositions exactly.
+//!   propositions exactly; thin wrappers over [`engine`].
 //! * [`strategies`] — constructive pebbling strategies for every structured
 //!   DAG in the paper (matvec, trees, zipper, pebble collection, chained
 //!   gadgets, FFT, matmul, attention) plus generic topological strategies.
@@ -47,6 +50,7 @@
 pub mod builder;
 pub mod convert;
 pub mod cost;
+pub mod engine;
 pub mod exact;
 pub mod moves;
 pub mod packed;

@@ -1,27 +1,29 @@
-//! Beam search over partial PRBP schedules.
+//! Beam search over partial PRBP schedules — thin wrapper over the unified
+//! anytime engine.
 //!
-//! A partial schedule is identified with its pebbling configuration in the
-//! canonical packed encoding of [`pebble_game::packed`] (the same
-//! `[red | blue | marked]` bit planes the exact A* solver interns), so two
-//! beam entries that reach the same configuration are merged and only the
-//! cheaper survives — a beam-limited version of the solver's transposition
-//! table.
+//! The search itself (macro-step node completions, packed-state dedup, the
+//! move-chain sharing and the eviction policy) lives in
+//! `pebble_game::engine`; this module keeps the historical `beam_prbp` entry
+//! point and its [`BeamConfig`] knobs. A partial schedule is identified with
+//! its pebbling configuration in the canonical packed encoding of
+//! [`pebble_game::packed`] (the same `[red | blue | marked]` bit planes the
+//! exact A* solver interns), so two beam entries that reach the same
+//! configuration are merged and only the cheaper survives — a beam-limited
+//! version of the solver's transposition table.
 //!
-//! Search structure: one level per non-source node. Every beam entry proposes
-//! its cheapest next nodes (fewest immediate loads among the ready nodes),
-//! the pooled proposals are ranked by projected cost, and the best `width`
-//! distinct successor configurations are materialised. Width 1 degenerates to
-//! an *adaptive* greedy scheduler that picks the globally cheapest next node
-//! online — the workhorse for instances where a fixed compute order wastes
-//! locality; larger widths buy schedule quality on mid-size instances for
-//! more time and memory.
+//! Width 1 degenerates to an *adaptive* greedy scheduler that picks the
+//! globally cheapest next node online — the workhorse for instances where a
+//! fixed compute order wastes locality; larger widths buy schedule quality
+//! on mid-size instances for more time and memory. Callers that want
+//! deadlines, cancellation or parallel child materialisation configure the
+//! same search through [`pebble_game::engine::solve_prbp`] with
+//! `EngineConfig::width`.
 
-use pebble_dag::{Dag, NodeId};
-use pebble_game::moves::PrbpMove;
-use pebble_game::packed;
+use pebble_dag::Dag;
+use pebble_game::engine::{solve_prbp, EngineConfig, HeuristicSpec};
+use pebble_game::exact::LoadCountHeuristic;
+use pebble_game::prbp::PrbpConfig;
 use pebble_game::trace::PrbpTrace;
-use std::collections::HashMap;
-use std::rc::Rc;
 
 /// Search parameters for [`beam_prbp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,228 +53,6 @@ impl BeamConfig {
     }
 }
 
-/// Node pebble states mirrored from the simulator.
-const EMPTY: u8 = 0;
-const BLUE: u8 = 1;
-const LIGHT: u8 = 2;
-const DARK: u8 = 3;
-
-/// Move-chain link: the moves appended by one macro step, linked back to the
-/// parent partial schedule. Keeps full traces shareable between beam entries
-/// without copying.
-struct MoveLink {
-    parent: Option<Rc<MoveLink>>,
-    moves: Vec<PrbpMove>,
-}
-
-/// One partial schedule.
-struct Entry {
-    /// Pebble state per node.
-    state: Vec<u8>,
-    /// Unmarked out-edges per node.
-    unmarked_out: Vec<u32>,
-    /// Predecessors not yet fully computed, per node.
-    preds_left: Vec<u32>,
-    /// Fully-computed flag per node (sources start `true`).
-    completed: Vec<bool>,
-    /// Nodes whose predecessors are all computed but which are not themselves
-    /// computed; contains every such node at least once (lazily filtered).
-    ready: Vec<NodeId>,
-    /// The currently red nodes, for `O(r)` eviction scans.
-    red_members: Vec<NodeId>,
-    io: usize,
-    /// Canonical `[red | blue | marked]` packed words, kept incrementally.
-    packed: Vec<u64>,
-    moves: Option<Rc<MoveLink>>,
-}
-
-impl Entry {
-    fn initial(dag: &Dag) -> Self {
-        let n = dag.node_count();
-        let wn = packed::plane_words(n);
-        let wm = packed::plane_words(dag.edge_count());
-        let mut state = vec![EMPTY; n];
-        let mut completed = vec![false; n];
-        let mut words = vec![0u64; 2 * wn + wm];
-        let mut preds_left = vec![0u32; n];
-        for v in dag.nodes() {
-            if dag.is_source(v) {
-                state[v.index()] = BLUE;
-                completed[v.index()] = true;
-                packed::set(&mut words[wn..2 * wn], v.index());
-            }
-            for &(u, _) in dag.in_edges(v) {
-                if !dag.is_source(u) {
-                    preds_left[v.index()] += 1;
-                }
-            }
-        }
-        let ready = dag
-            .nodes()
-            .filter(|&v| !dag.is_source(v) && preds_left[v.index()] == 0)
-            .collect();
-        Entry {
-            state,
-            unmarked_out: dag.nodes().map(|v| dag.out_degree(v) as u32).collect(),
-            preds_left,
-            completed,
-            ready,
-            red_members: Vec::new(),
-            io: 0,
-            packed: words,
-            moves: None,
-        }
-    }
-
-    fn clone_for_child(&self) -> Self {
-        Entry {
-            state: self.state.clone(),
-            unmarked_out: self.unmarked_out.clone(),
-            preds_left: self.preds_left.clone(),
-            completed: self.completed.clone(),
-            ready: self.ready.clone(),
-            red_members: self.red_members.clone(),
-            io: self.io,
-            packed: self.packed.clone(),
-            moves: self.moves.clone(),
-        }
-    }
-
-    /// Place a red pebble on `v` (bookkeeping + packed bit).
-    fn make_red(&mut self, wn: usize, v: NodeId) {
-        self.red_members.push(v);
-        packed::set(&mut self.packed[..wn], v.index());
-    }
-
-    /// Remove the red pebble from `v` (bookkeeping + packed bit).
-    fn drop_red(&mut self, wn: usize, v: NodeId) {
-        let p = self
-            .red_members
-            .iter()
-            .position(|&w| w == v)
-            .expect("red member");
-        self.red_members.swap_remove(p);
-        packed::clear(&mut self.packed[..wn], v.index());
-    }
-
-    /// Immediate loads required to complete `v` now: predecessors without a
-    /// red pebble.
-    fn immediate_loads(&self, dag: &Dag, v: NodeId) -> usize {
-        dag.in_edges(v)
-            .iter()
-            .filter(|&&(u, _)| self.state[u.index()] < LIGHT)
-            .count()
-    }
-
-    /// Evict one non-pinned red pebble; returns the I/O spent. Preference:
-    /// light red pebbles (free), then dark values (save first) — within a
-    /// tier, fewest unmarked out-edges first, then smallest id. Every dark
-    /// candidate is a *completed* value: the only dark-but-uncompleted node
-    /// is the accumulator currently inside [`Entry::complete`], and that one
-    /// is always pinned.
-    fn evict_one(&mut self, wn: usize, moves: &mut Vec<PrbpMove>, pin_a: NodeId, pin_b: NodeId) {
-        let mut best: Option<((u8, u32, usize), NodeId)> = None;
-        for &v in &self.red_members {
-            if v == pin_a || v == pin_b {
-                continue;
-            }
-            let tier = match self.state[v.index()] {
-                LIGHT => 0u8,
-                _ => {
-                    debug_assert!(
-                        self.completed[v.index()],
-                        "only the pinned accumulator can be dark and uncompleted"
-                    );
-                    1
-                }
-            };
-            let key = (tier, self.unmarked_out[v.index()], v.index());
-            if best.map_or(true, |(k, _)| key < k) {
-                best = Some((key, v));
-            }
-        }
-        let (_, v) = best.expect("r >= 2 guarantees an evictable pebble");
-        let vi = v.index();
-        if self.state[vi] == DARK {
-            moves.push(PrbpMove::Save(v));
-            self.io += 1;
-            packed::set(&mut self.packed[wn..2 * wn], vi);
-        }
-        moves.push(PrbpMove::Delete(v));
-        self.state[vi] = BLUE;
-        self.drop_red(wn, v);
-    }
-
-    /// Complete node `v`: aggregate all of its in-edges (loading inputs and
-    /// evicting on demand), then save-and-drop if it is a sink. `v` must be
-    /// ready.
-    fn complete(&mut self, dag: &Dag, r: usize, wn: usize, v: NodeId) {
-        debug_assert!(!self.completed[v.index()] && self.preds_left[v.index()] == 0);
-        let mut moves = Vec::new();
-        for &(u, e) in dag.in_edges(v) {
-            let ui = u.index();
-            let vi = v.index();
-            let mut needed = usize::from(self.state[ui] < LIGHT);
-            needed += usize::from(self.state[vi] < LIGHT);
-            while self.red_members.len() + needed > r {
-                self.evict_one(wn, &mut moves, u, v);
-            }
-            if self.state[ui] < LIGHT {
-                debug_assert_eq!(self.state[ui], BLUE, "computed value lost");
-                moves.push(PrbpMove::Load(u));
-                self.state[ui] = LIGHT;
-                self.io += 1;
-                self.make_red(wn, u);
-            }
-            if self.state[vi] < LIGHT {
-                debug_assert_eq!(self.state[vi], EMPTY, "uncomputed node has blue");
-                self.make_red(wn, v);
-            }
-            moves.push(PrbpMove::PartialCompute { from: u, to: v });
-            self.state[vi] = DARK;
-            packed::set(&mut self.packed[2 * wn..], e.index());
-            self.unmarked_out[ui] -= 1;
-            // A dead value (all out-edges marked, not a sink) frees its slot
-            // at no cost; dropping it eagerly keeps pressure low.
-            if self.unmarked_out[ui] == 0 && !dag.is_sink(u) {
-                moves.push(PrbpMove::Delete(u));
-                self.state[ui] = if self.state[ui] == LIGHT { BLUE } else { EMPTY };
-                self.drop_red(wn, u);
-            }
-        }
-        self.completed[v.index()] = true;
-        for &(w, _) in dag.out_edges(v) {
-            self.preds_left[w.index()] -= 1;
-            if self.preds_left[w.index()] == 0 {
-                self.ready.push(w);
-            }
-        }
-        if dag.is_sink(v) {
-            moves.push(PrbpMove::Save(v));
-            self.io += 1;
-            moves.push(PrbpMove::Delete(v));
-            self.state[v.index()] = BLUE;
-            packed::set(&mut self.packed[wn..2 * wn], v.index());
-            self.drop_red(wn, v);
-        }
-        self.moves = Some(Rc::new(MoveLink {
-            parent: self.moves.take(),
-            moves,
-        }));
-    }
-
-    fn trace(&self) -> PrbpTrace {
-        let mut chunks = Vec::new();
-        let mut link = self.moves.clone();
-        while let Some(l) = link {
-            chunks.push(l.moves.clone());
-            link = l.parent.clone();
-        }
-        chunks.reverse();
-        PrbpTrace::from_moves(chunks.concat())
-    }
-}
-
 /// Beam-search PRBP scheduler. Works for any `r ≥ 2`; returns `None` below
 /// that. Deterministic: all ranking ties are broken by node id and beam
 /// insertion order.
@@ -280,64 +60,21 @@ pub fn beam_prbp(dag: &Dag, r: usize, cfg: BeamConfig) -> Option<PrbpTrace> {
     if r < 2 {
         return None;
     }
-    let width = cfg.width.max(1);
-    let branch = cfg.branch.max(1);
-    let wn = packed::plane_words(dag.node_count());
-    let levels = dag.nodes().filter(|&v| !dag.is_source(v)).count();
-
-    let mut beam = vec![Entry::initial(dag)];
-    for _ in 0..levels {
-        // Pool of proposals: (projected io, entry index, node).
-        let mut proposals: Vec<(usize, usize, NodeId)> = Vec::new();
-        for (ei, entry) in beam.iter_mut().enumerate() {
-            // Compact the lazily-filtered ready list in place.
-            entry.ready.retain(|&v| !entry.completed[v.index()]);
-            let mut scored: Vec<(usize, NodeId)> = entry
-                .ready
-                .iter()
-                .map(|&v| (entry.immediate_loads(dag, v), v))
-                .collect();
-            scored.sort_unstable_by_key(|&(c, v)| (c, v.index()));
-            for &(c, v) in scored.iter().take(branch) {
-                proposals.push((entry.io + c, ei, v));
-            }
-        }
-        proposals.sort_unstable_by_key(|&(g, ei, v)| (g, v.index(), ei));
-
-        // Materialise the best distinct successor configurations.
-        let mut next: Vec<Entry> = Vec::with_capacity(width);
-        let mut seen: HashMap<Vec<u64>, usize> = HashMap::new();
-        for &(_, ei, v) in &proposals {
-            if next.len() >= width {
-                break;
-            }
-            let mut child = if width == 1 {
-                // Width-1 fast path: only one child is ever materialised, so
-                // advance the single entry without cloning its state.
-                debug_assert_eq!(ei, 0);
-                beam.pop().expect("single beam entry")
-            } else {
-                beam[ei].clone_for_child()
-            };
-            child.complete(dag, r, wn, v);
-            match seen.get(&child.packed) {
-                Some(&slot) => {
-                    if child.io < next[slot].io {
-                        next[slot] = child;
-                    }
-                }
-                None => {
-                    seen.insert(child.packed.clone(), next.len());
-                    next.push(child);
-                }
-            }
-        }
-        debug_assert!(!next.is_empty(), "every level has a ready node");
-        beam = next;
-    }
-
-    let best = beam.iter().min_by_key(|e| e.io).expect("non-empty beam");
-    Some(best.trace())
+    let engine = EngineConfig {
+        width: Some(cfg.width.max(1)),
+        branch: cfg.branch.max(1),
+        ..EngineConfig::default()
+    };
+    solve_prbp(
+        dag,
+        PrbpConfig::new(r),
+        &engine,
+        HeuristicSpec::Single(&LoadCountHeuristic),
+        None,
+        None,
+    )
+    .ok()
+    .map(|out| out.trace)
 }
 
 #[cfg(test)]
@@ -394,34 +131,6 @@ mod tests {
             validated(&dag, 64, BeamConfig::adaptive()),
             dag.trivial_cost()
         );
-    }
-
-    #[test]
-    fn incremental_packed_words_match_the_game_encoding() {
-        // The beam maintains its packed `[red | blue | marked]` words
-        // incrementally; they must stay equal to what the simulator's
-        // canonical `PrbpGame::packed_words` produces for the same move
-        // sequence — that equality is what makes the dedup keys meaningful
-        // (and interchangeable with the exact solver's encoding).
-        use pebble_game::prbp::{PrbpConfig, PrbpGame};
-        let dag = fft(8).dag;
-        let r = 4;
-        let wn = packed::plane_words(dag.node_count());
-        let mut entry = Entry::initial(&dag);
-        let mut game = PrbpGame::new(&dag, PrbpConfig::new(r));
-        assert_eq!(entry.packed, game.packed_words());
-        let order: Vec<NodeId> = crate::order::natural(&dag)
-            .into_iter()
-            .filter(|&v| !dag.is_source(v))
-            .collect();
-        for v in order {
-            entry.complete(&dag, r, wn, v);
-            // Replay exactly the moves this macro step appended.
-            let link = entry.moves.as_ref().expect("macro appended moves");
-            game.run(link.moves.iter().copied()).expect("legal moves");
-            assert_eq!(entry.packed, game.packed_words(), "diverged at {v:?}");
-        }
-        assert!(game.is_terminal());
     }
 
     #[test]

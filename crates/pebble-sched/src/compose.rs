@@ -34,14 +34,18 @@ use crate::suite::{best_prbp, default_suite, Scheduler};
 use pebble_bounds::composed_prbp_bound;
 use pebble_dag::decompose::{decompose, Decomposition, ExtractedComponent, Strategy};
 use pebble_dag::{Dag, NodeId};
-use pebble_game::exact::{self, optimal_prbp_trace, LoadCountHeuristic, SearchConfig};
+use pebble_game::engine::{self, EngineConfig, HeuristicSpec};
+use pebble_game::exact::{self, LoadCountHeuristic};
 use pebble_game::moves::PrbpMove;
 use pebble_game::prbp::PrbpConfig;
 use pebble_game::trace::{PrbpTrace, TraceError};
 use pebble_game::PrbpBuilder;
 
-/// The default node budget below which components are solved exactly.
-pub const DEFAULT_EXACT_BUDGET: usize = 20;
+/// The default node budget below which components are solved exactly. The
+/// unified engine's seeded branch-and-bound (the portfolio's best schedule
+/// primes the incumbent and prunes the search) made the exact phase cheap
+/// enough to raise this from the historical 20.
+pub const DEFAULT_EXACT_BUDGET: usize = 24;
 
 /// Configuration of the [`compose_prbp`] pipeline.
 #[derive(Debug, Clone)]
@@ -329,12 +333,24 @@ fn schedule_component(
         return Some((trace, Some(cost)));
     }
     if dag.node_count() <= config.exact_budget {
-        if let Ok((opt, opt_trace)) = optimal_prbp_trace(
+        // Seed the engine with the portfolio's best schedule: the search
+        // becomes a branch-and-bound that prunes everything at least as
+        // expensive as the incumbent, and a budget-stopped solve still
+        // returns the best (validated) schedule seen instead of failing.
+        let engine_cfg = EngineConfig {
+            node_budget: Some(config.exact_max_states),
+            ..EngineConfig::default()
+        };
+        if let Ok(out) = engine::solve_prbp(
             dag,
             config_prbp,
-            SearchConfig::with_max_states(config.exact_max_states),
+            &engine_cfg,
+            HeuristicSpec::Single(&LoadCountHeuristic),
+            Some(&trace),
+            None,
         ) {
-            return Some((opt_trace, Some(opt)));
+            let certified = out.proven_optimal.then_some(out.cost);
+            return Some((out.trace, certified));
         }
     }
     Some((trace, None))
@@ -440,7 +456,7 @@ mod tests {
     use super::*;
     use pebble_dag::generators::{binary_tree, fft, fig1_full, matmul};
     use pebble_dag::DagBuilder;
-    use pebble_game::exact::optimal_prbp_cost;
+    use pebble_game::exact::{optimal_prbp_cost, SearchConfig};
 
     #[test]
     fn compose_is_exact_on_small_instances() {

@@ -37,9 +37,14 @@
 //!   threads), stitch with boundary-aware eviction, and certify against the
 //!   composable lower bounds of `pebble-bounds`.
 //! * [`suite`] — the named portfolio the experiments and benchmarks sweep.
+//! * [`anytime`] — deadline-bounded anytime scheduling on the unified
+//!   engine ([`pebble_game::engine`]): a fast validated seed, then seeded
+//!   parallel branch-and-bound until the deadline, returning the best
+//!   certified incumbent at any stop.
 
 #![deny(missing_docs)]
 
+pub mod anytime;
 pub mod beam;
 pub mod compose;
 pub mod edges;
@@ -50,6 +55,7 @@ pub mod policy;
 pub mod report;
 pub mod suite;
 
+pub use anytime::{anytime_prbp, AnytimeConfig, AnytimeOutcome};
 pub use beam::{beam_prbp, BeamConfig};
 pub use compose::{compose_prbp, compose_prbp_report, ComposeConfig, ComposeOutcome};
 pub use edges::{cone_affinity_edges, greedy_prbp_edges};

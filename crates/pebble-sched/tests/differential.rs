@@ -274,7 +274,10 @@ fn known_bad_scheduler_names_stay_rejected() {
     }
     // The default-budget display form is the bare name.
     assert_eq!(
-        Scheduler::Compose { exact_budget: 20 }.to_string(),
+        Scheduler::Compose {
+            exact_budget: pebble_sched::compose::DEFAULT_EXACT_BUDGET
+        }
+        .to_string(),
         "compose"
     );
     assert_eq!(

@@ -17,12 +17,13 @@
 use pebble_dag::{generators, Dag};
 use pebble_io::Format;
 use pebble_sched::{
-    best_prbp, certify_greedy_prbp, certify_greedy_rbp, certify_prbp_with, certify_rbp_with,
-    default_suite, prbp_bound_ladder, rbp_bound_ladder, BoundSet, BoundValue, ScheduleReport,
-    Scheduler,
+    anytime_prbp, best_prbp, certify_greedy_prbp, certify_greedy_rbp, certify_prbp_with,
+    certify_rbp_with, default_suite, prbp_bound_ladder, rbp_bound_ladder, AnytimeConfig,
+    AnytimeOutcome, BoundSet, BoundValue, ScheduleReport, Scheduler,
 };
 use std::collections::HashMap;
 use std::io::Read;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "prbp — schedule and certify DAG workloads in the (P)RBP pebble games
 
@@ -37,10 +38,15 @@ USAGE:
         fig1                                     (the paper's Figure 1 DAG)
   prbp schedule --input PATH --r <cache> [--model prbp|rbp] [--format F]
                 [--scheduler S] [--bounds fast|full|auto] [--out PATH]
+                [--deadline-ms MS [--workers N]]
       S: greedy:<belady|lru|fewest>:<natural|dfs> (default greedy:belady:dfs,
          streaming), beam:<width>[:<branch>], local:<iterations>, baseline,
          compose[:<exact-budget>] (structure-aware decomposition; PRBP only),
          or `suite` (best of the default portfolio; materialises traces)
+      --deadline-ms runs the anytime engine instead of --scheduler (PRBP
+         only): best simulator-validated schedule within the wall-clock
+         budget, improved by --workers parallel exact search (0 = all cores)
+         and certified with an admissible bound ladder
   prbp bound --input PATH --r <cache> [--model prbp|rbp] [--format F]
              [--bounds fast|full|auto] [--out PATH]
   prbp convert --input PATH --out PATH [--from F] [--to F]
@@ -334,6 +340,35 @@ fn schedule_doc(path: &str, format: Format, dag: &Dag, report: &ScheduleReport) 
     )
 }
 
+/// The anytime output document: the schedule_doc fields plus the engine's
+/// run metadata (deadline, workers, wall-clock, stop reason, proof status).
+#[allow(clippy::too_many_arguments)]
+fn anytime_doc(
+    path: &str,
+    format: Format,
+    dag: &Dag,
+    report: &ScheduleReport,
+    outcome: &AnytimeOutcome,
+    deadline_ms: usize,
+    workers: usize,
+    solve_ms: u128,
+) -> String {
+    let report_json = serde_json::to_string(report).expect("report serialises");
+    format!(
+        "{{\"input\":{{\"path\":\"{}\",\"format\":\"{}\",\"nodes\":{},\"edges\":{}}},\
+         \"anytime\":{{\"deadline_ms\":{deadline_ms},\"workers\":{workers},\"solve_ms\":{solve_ms},\
+         \"stop\":\"{}\",\"proven_optimal\":{}}},\"report\":{},\"gap\":{:.4}}}\n",
+        json_escape(path),
+        format.name(),
+        dag.node_count(),
+        dag.edge_count(),
+        outcome.stop.as_str(),
+        outcome.proven_optimal,
+        report_json,
+        report.gap()
+    )
+}
+
 fn cmd_schedule(args: &Args) -> Result<(), CliError> {
     args.check_known(&[
         "input",
@@ -343,12 +378,72 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
         "scheduler",
         "bounds",
         "out",
+        "deadline-ms",
+        "workers",
     ])?;
     let (dag, format, path) = load_dag(args)?;
     let r = args.require_usize("r")?;
     let model = args.get("model").unwrap_or("prbp");
     let set = bound_set(args, &dag)?;
     let sched_name = args.get("scheduler").unwrap_or("greedy:belady:dfs");
+
+    if let Some(deadline_ms) = args.parse_usize("deadline-ms")? {
+        if model != "prbp" {
+            return Err(usage("--deadline-ms (the anytime engine) is PRBP-only"));
+        }
+        if args.get("scheduler").is_some() {
+            return Err(usage(
+                "--deadline-ms runs the anytime engine; drop --scheduler",
+            ));
+        }
+        if deadline_ms == 0 {
+            return Err(usage("--deadline-ms must be >= 1"));
+        }
+        let workers = args.usize_or("workers", 0)?;
+        let config = AnytimeConfig {
+            workers,
+            ..AnytimeConfig::new(Duration::from_millis(deadline_ms as u64))
+        };
+        let started = Instant::now();
+        let outcome = anytime_prbp(&dag, r, &config, None)
+            .ok_or_else(|| runtime(format!("r = {r} is too small (PRBP needs r >= 2)")))?;
+        let solve_ms = started.elapsed().as_millis();
+        let report = certify_prbp_with(&dag, r, &outcome.trace, "anytime", set)
+            .map_err(|e| runtime(format!("certification failed: {e}")))?;
+        eprintln!(
+            "{}: {} nodes, {} edges | anytime r={} cost={} best_bound={} gap={:.2}x \
+             ({} after {solve_ms} ms, deadline {deadline_ms} ms{})",
+            path,
+            dag.node_count(),
+            dag.edge_count(),
+            r,
+            report.cost,
+            report.best_bound,
+            report.gap(),
+            outcome.stop.as_str(),
+            if outcome.proven_optimal {
+                ", proven optimal"
+            } else {
+                ""
+            }
+        );
+        return write_output(
+            args.get("out"),
+            &anytime_doc(
+                &path,
+                format,
+                &dag,
+                &report,
+                &outcome,
+                deadline_ms,
+                workers,
+                solve_ms,
+            ),
+        );
+    }
+    if args.get("workers").is_some() {
+        return Err(usage("--workers requires --deadline-ms"));
+    }
 
     let report = if sched_name == "suite" {
         if model != "prbp" {

@@ -1,0 +1,256 @@
+//! The unified engine must be *exactly* the legacy A* solvers.
+//!
+//! PR 6 collapsed the separate RBP/PRBP A* loops and the beam into one
+//! anytime engine; this suite is the differential proof that nothing
+//! changed. Over the same corpus as `solver_equivalence` — random layered
+//! DAGs (property test), every structured generator family, and the model
+//! variants (re-computation, sliding, `clear`, no-deletion) — it checks:
+//!
+//! * the engine at `workers = 1` and `workers = 4` returns exactly the
+//!   legacy optimum, proven, with a simulator-validated trace;
+//! * at `workers = 1` the search statistics (`distinct`, `expanded`) are
+//!   *identical* to the legacy solver's — the anytime machinery must be
+//!   inert when no deadline/cancellation/seed is attached;
+//! * the beam-mode engine returns a validated schedule bracketed between
+//!   the exact optimum and the adaptive (width-1) greedy.
+//!
+//! Release-only: the reference searches need optimised builds.
+
+#![cfg(not(debug_assertions))]
+
+use pebble_dag::generators::{
+    chained_gadgets, fig1_full, kary_tree, matvec, pebble_collection, pyramid, random_layered,
+    zipper, RandomLayeredConfig,
+};
+use pebble_dag::Dag;
+use pebble_game::engine::{self, EngineConfig, EngineOutcome, HeuristicSpec, StopReason};
+use pebble_game::exact::{self, LoadCountHeuristic, LowerBound, SearchConfig};
+use pebble_game::moves::{PrbpMove, RbpMove};
+use pebble_game::prbp::PrbpConfig;
+use pebble_game::rbp::RbpConfig;
+use pebble_game::trace::{PrbpTrace, RbpTrace};
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 2] = [1, 4];
+
+fn engine_rbp(dag: &Dag, config: RbpConfig, workers: usize) -> EngineOutcome<RbpTrace> {
+    let engine = EngineConfig {
+        workers,
+        ..EngineConfig::default()
+    };
+    let make = || Box::new(LoadCountHeuristic) as Box<dyn LowerBound>;
+    let spec = if workers == 1 {
+        HeuristicSpec::Single(&LoadCountHeuristic)
+    } else {
+        HeuristicSpec::PerWorker(&make)
+    };
+    engine::solve_rbp(dag, config, &engine, spec, None, None).expect("corpus instances solve")
+}
+
+fn engine_prbp(dag: &Dag, config: PrbpConfig, workers: usize) -> EngineOutcome<PrbpTrace> {
+    let engine = EngineConfig {
+        workers,
+        ..EngineConfig::default()
+    };
+    let make = || Box::new(LoadCountHeuristic) as Box<dyn LowerBound>;
+    let spec = if workers == 1 {
+        HeuristicSpec::Single(&LoadCountHeuristic)
+    } else {
+        HeuristicSpec::PerWorker(&make)
+    };
+    engine::solve_prbp(dag, config, &engine, spec, None, None).expect("corpus instances solve")
+}
+
+/// Engine == legacy on an RBP instance, at every worker count.
+fn assert_rbp_engine_matches(dag: &Dag, config: RbpConfig) {
+    let legacy =
+        exact::optimal_rbp_cost_with(dag, config, SearchConfig::default(), &LoadCountHeuristic)
+            .expect("legacy reference must solve the instance");
+    for workers in WORKER_COUNTS {
+        let out = engine_rbp(dag, config, workers);
+        assert_eq!(
+            out.cost, legacy.cost,
+            "engine (workers={workers}) disagrees with legacy RBP optimum (r={})",
+            config.r
+        );
+        assert!(out.proven_optimal, "engine must prove the optimum");
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.bound, out.cost, "proven solves raise bound to cost");
+        let replayed = out
+            .trace
+            .validate(dag, config)
+            .expect("engine trace must replay");
+        assert_eq!(replayed, out.cost, "trace cost must match reported cost");
+        if workers == 1 {
+            assert_eq!(
+                out.stats.distinct, legacy.stats.distinct,
+                "sequential engine must intern exactly the legacy state set"
+            );
+            assert_eq!(
+                out.stats.expanded, legacy.stats.expanded,
+                "sequential engine must expand exactly the legacy state set"
+            );
+        }
+    }
+}
+
+/// Engine == legacy on a PRBP instance, at every worker count.
+fn assert_prbp_engine_matches(dag: &Dag, config: PrbpConfig) {
+    let legacy =
+        exact::optimal_prbp_cost_with(dag, config, SearchConfig::default(), &LoadCountHeuristic)
+            .expect("legacy reference must solve the instance");
+    for workers in WORKER_COUNTS {
+        let out = engine_prbp(dag, config, workers);
+        assert_eq!(
+            out.cost, legacy.cost,
+            "engine (workers={workers}) disagrees with legacy PRBP optimum (r={})",
+            config.r
+        );
+        assert!(out.proven_optimal, "engine must prove the optimum");
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.bound, out.cost, "proven solves raise bound to cost");
+        let replayed = out
+            .trace
+            .validate(dag, config)
+            .expect("engine trace must replay");
+        assert_eq!(replayed, out.cost, "trace cost must match reported cost");
+        if workers == 1 {
+            assert_eq!(
+                out.stats.distinct, legacy.stats.distinct,
+                "sequential engine must intern exactly the legacy state set"
+            );
+            assert_eq!(
+                out.stats.expanded, legacy.stats.expanded,
+                "sequential engine must expand exactly the legacy state set"
+            );
+        }
+    }
+}
+
+/// Beam-mode engine: validated, bracketed between the optimum and the
+/// adaptive width-1 greedy.
+fn assert_beam_bracketed(dag: &Dag, r: usize, optimum: usize) {
+    let beam = |width: usize| -> EngineOutcome<PrbpTrace> {
+        let engine = EngineConfig {
+            width: Some(width),
+            branch: 4,
+            ..EngineConfig::default()
+        };
+        engine::solve_prbp(
+            dag,
+            PrbpConfig::new(r),
+            &engine,
+            HeuristicSpec::Single(&LoadCountHeuristic),
+            None,
+            None,
+        )
+        .expect("beam schedules any r >= 2 instance")
+    };
+    let adaptive = beam(1);
+    let wide = beam(8);
+    for out in [&adaptive, &wide] {
+        let replayed = out
+            .trace
+            .validate(dag, PrbpConfig::new(r))
+            .expect("beam trace must replay");
+        assert_eq!(replayed, out.cost);
+        assert!(out.cost >= optimum, "beam cannot beat the proven optimum");
+        assert!(out.bound <= optimum, "beam bound must stay admissible");
+    }
+    assert!(
+        wide.cost <= adaptive.cost,
+        "width 8 must not lose to the adaptive greedy on corpus instances \
+         (wide {} vs adaptive {})",
+        wide.cost,
+        adaptive.cost
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_dags_engine_equals_legacy(
+        seed in any::<u64>(),
+        layers in 2usize..4,
+        width in 1usize..3,
+    ) {
+        let dag = random_layered(RandomLayeredConfig {
+            layers,
+            width,
+            max_in_degree: 2,
+            seed,
+        });
+        assert_rbp_engine_matches(&dag, RbpConfig::new(dag.max_in_degree() + 1));
+        assert_prbp_engine_matches(&dag, PrbpConfig::new(2));
+        assert_prbp_engine_matches(&dag, PrbpConfig::new(3));
+    }
+}
+
+#[test]
+fn structured_generators_engine_equals_legacy_rbp() {
+    let cases: Vec<Dag> = vec![
+        fig1_full().dag,
+        zipper(2, 3).dag,
+        kary_tree(2, 2).dag,
+        chained_gadgets(1).dag,
+        pyramid(2).dag,
+    ];
+    for dag in &cases {
+        assert_rbp_engine_matches(dag, RbpConfig::new(dag.max_in_degree() + 1));
+    }
+}
+
+#[test]
+fn structured_generators_engine_equals_legacy_prbp() {
+    let cases: Vec<(Dag, usize)> = vec![
+        (fig1_full().dag, 4),
+        (zipper(2, 3).dag, 4),
+        (matvec(2).dag, 5),
+        (kary_tree(2, 2).dag, 3),
+        (chained_gadgets(1).dag, 4),
+        (pebble_collection(2, 3).dag, 4),
+        (pyramid(2).dag, 2),
+    ];
+    for (dag, r) in &cases {
+        assert_prbp_engine_matches(dag, PrbpConfig::new(*r));
+    }
+}
+
+#[test]
+fn model_variants_engine_equals_legacy() {
+    let f = fig1_full();
+    assert_rbp_engine_matches(&f.dag, RbpConfig::new(4).with_recompute());
+    assert_rbp_engine_matches(&f.dag, RbpConfig::new(4).with_sliding());
+    assert_prbp_engine_matches(&f.dag, PrbpConfig::new(4).with_clear());
+    assert_prbp_engine_matches(&f.dag, PrbpConfig::new(4).with_no_delete());
+}
+
+#[test]
+fn beam_mode_engine_is_bracketed_on_the_structured_corpus() {
+    let cases: Vec<(Dag, usize)> = vec![
+        (fig1_full().dag, 4),
+        (zipper(2, 3).dag, 4),
+        (matvec(2).dag, 5),
+        (kary_tree(2, 2).dag, 3),
+        (chained_gadgets(1).dag, 4),
+        (pebble_collection(2, 3).dag, 4),
+        (pyramid(2).dag, 2),
+    ];
+    for (dag, r) in &cases {
+        let optimum = exact::optimal_prbp_cost(dag, PrbpConfig::new(*r), SearchConfig::default())
+            .expect("corpus instances solve");
+        assert_beam_bracketed(dag, *r, optimum);
+    }
+}
+
+/// PRBP moves are the engine's currency; keep the suite honest about the
+/// types it quantifies over (compile-time check that the outcome move types
+/// line up with the trace types the simulators replay).
+#[allow(dead_code)]
+fn type_pins(
+    prbp: EngineOutcome<PrbpTrace>,
+    rbp: EngineOutcome<RbpTrace>,
+) -> (Vec<PrbpMove>, Vec<RbpMove>) {
+    (prbp.trace.moves, rbp.trace.moves)
+}
