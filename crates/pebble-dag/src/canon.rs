@@ -1,0 +1,412 @@
+//! Iso-invariant canonical hashing of DAGs — the substrate of the
+//! content-addressed schedule cache.
+//!
+//! Two DAGs that differ only by a relabeling of node ids (and any reordering
+//! of the edge list) describe the *same computation*, so a certified schedule
+//! for one is a certified schedule for the other, modulo renaming. This
+//! module computes:
+//!
+//! * a [`CanonKey`] — a 256-bit hash that is **invariant under node
+//!   relabeling and edge-order permutation** (node labels are ignored: the
+//!   pebble games only see structure), built by iterated
+//!   Weisfeiler–Leman-style color refinement over the CSR representation;
+//! * a canonical node ordering ([`CanonicalForm::perm`]) that maps node ids
+//!   into a labeling-independent numbering, so a schedule stored under the
+//!   canonical numbering can be replayed on any isomorphic relabeling.
+//!
+//! ## Soundness contract
+//!
+//! The key is a *hash*: distinct isomorphism classes collide with negligible
+//! probability (256 bits of output; WL-indistinguishable non-isomorphic
+//! graphs are the only systematic source, and they are vanishingly rare
+//! among computational DAGs). The canonical permutation is *best effort* on
+//! automorphism-rich graphs: WL color classes are individualized a bounded
+//! number of times and remaining ties break by original id, which an
+//! adversarial relabeling can exploit to produce inconsistent orderings.
+//! **Every consumer must therefore re-validate a schedule obtained through
+//! canonical translation** (the schedule cache replays each hit through the
+//! game simulator before serving it); a wrong permutation then costs a cache
+//! miss, never a wrong answer.
+
+use crate::ids::NodeId;
+use crate::Dag;
+use std::fmt;
+
+/// A 256-bit iso-invariant DAG fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CanonKey(pub [u64; 4]);
+
+impl CanonKey {
+    /// Lowercase fixed-width (64 character) hex rendering, suitable as a
+    /// file name in a content-addressed store.
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for w in self.0 {
+            s.push_str(&format!("{w:016x}"));
+        }
+        s
+    }
+
+    /// Parse the [`CanonKey::hex`] rendering back.
+    pub fn from_hex(s: &str) -> Option<CanonKey> {
+        if s.len() != 64 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let mut words = [0u64; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64::from_str_radix(&s[16 * i..16 * (i + 1)], 16).ok()?;
+        }
+        Some(CanonKey(words))
+    }
+}
+
+impl fmt::Display for CanonKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// The canonical form of a DAG: its key plus a canonical node numbering.
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The iso-invariant fingerprint (computed *before* individualization,
+    /// so it never depends on the tie-breaking below).
+    pub key: CanonKey,
+    /// `perm[v.index()]` is the canonical position of node `v`.
+    pub perm: Vec<usize>,
+}
+
+impl CanonicalForm {
+    /// The inverse numbering: `inverse()[canonical] = original node`.
+    pub fn inverse(&self) -> Vec<NodeId> {
+        let mut inv = vec![NodeId::from_index(0); self.perm.len()];
+        for (orig, &canon) in self.perm.iter().enumerate() {
+            inv[canon] = NodeId::from_index(orig);
+        }
+        inv
+    }
+
+    /// Map an original node id to its canonical position.
+    pub fn to_canonical(&self, v: NodeId) -> usize {
+        self.perm[v.index()]
+    }
+}
+
+/// Refinement rounds before the color partition is declared stable. Capping
+/// keeps million-node graphs cheap; an early cap is still iso-invariant
+/// (both relabelings stop at the identical round).
+const MAX_ROUNDS: usize = 24;
+
+/// Individualization passes for the canonical ordering. Beyond the cap the
+/// remaining ties break by original id (see the module soundness contract).
+const MAX_INDIVIDUALIZATIONS: usize = 64;
+
+/// Total refinement work (rounds × nodes) the individualization loop may
+/// spend. Canonicalization runs on the serving hot path — a cache hit must
+/// stay in the low milliseconds — so on large symmetric graphs the loop
+/// stops early and the remaining ties break by original id, trading
+/// cross-labeling hit rate (a miss re-solves; soundness is unaffected) for
+/// bounded latency. Small graphs never hit this budget.
+const INDIVIDUALIZATION_WORK: usize = 1 << 16;
+
+/// Node count above which individualization is skipped entirely: serving
+/// paths canonicalize per request, and the id tie-break plus simulator
+/// re-validation is the right latency/robustness trade at that scale.
+const INDIVIDUALIZATION_LIMIT: usize = 100_000;
+
+/// splitmix64 finalizer: the bit mixer behind every hash in this module.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-dependent combine; multiset hashes sort their inputs first.
+fn combine(acc: u64, value: u64) -> u64 {
+    mix(acc ^ mix(value))
+}
+
+const PRED_TAG: u64 = 0x9D8A_75D1_0000_0001;
+const SUCC_TAG: u64 = 0x9D8A_75D1_0000_0002;
+const SELF_TAG: u64 = 0x9D8A_75D1_0000_0003;
+const INDIV_TAG: u64 = 0x9D8A_75D1_0000_0004;
+
+/// One WL round: every node hashes its own color with the sorted multisets
+/// of its predecessor and successor colors. Including the old color makes
+/// the partition (w.h.p.) monotonically refining, so "distinct count stopped
+/// growing" is a sound fixpoint test.
+fn refine_round(dag: &Dag, colors: &[u64], scratch: &mut Vec<u64>, out: &mut [u64]) {
+    for v in dag.nodes() {
+        let mut h = combine(SELF_TAG, colors[v.index()]);
+        scratch.clear();
+        scratch.extend(dag.in_edges(v).iter().map(|&(u, _)| colors[u.index()]));
+        scratch.sort_unstable();
+        for &c in scratch.iter() {
+            h = combine(h, c ^ PRED_TAG);
+        }
+        scratch.clear();
+        scratch.extend(dag.out_edges(v).iter().map(|&(w, _)| colors[w.index()]));
+        scratch.sort_unstable();
+        for &c in scratch.iter() {
+            h = combine(h, c ^ SUCC_TAG);
+        }
+        out[v.index()] = h;
+    }
+}
+
+fn distinct_count(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Refine to (capped) fixpoint, in place. Returns the number of rounds run
+/// (the individualization loop budgets its total work with this).
+fn refine_to_fixpoint(dag: &Dag, colors: &mut Vec<u64>) -> usize {
+    let n = dag.node_count();
+    let mut scratch = Vec::new();
+    let mut next = vec![0u64; n];
+    let mut distinct = distinct_count(colors);
+    let mut rounds = 0;
+    for _ in 0..MAX_ROUNDS.min(n) {
+        refine_round(dag, colors, &mut scratch, &mut next);
+        std::mem::swap(colors, &mut next);
+        rounds += 1;
+        let d = distinct_count(colors);
+        if d <= distinct || d == n {
+            break;
+        }
+        distinct = d;
+    }
+    rounds
+}
+
+fn initial_colors(dag: &Dag) -> Vec<u64> {
+    dag.nodes()
+        .map(|v| {
+            combine(
+                combine(SELF_TAG, dag.in_degree(v) as u64),
+                dag.out_degree(v) as u64,
+            )
+        })
+        .collect()
+}
+
+/// Fold the stable coloring into the 256-bit key: node count, edge count,
+/// the sorted color multiset and the sorted directed edge color pairs. Every
+/// ingredient is labeling-independent.
+fn key_from_colors(dag: &Dag, colors: &[u64]) -> CanonKey {
+    let mut node_colors = colors.to_vec();
+    node_colors.sort_unstable();
+    let mut edge_pairs: Vec<u64> = dag
+        .edges()
+        .map(|e| {
+            let (u, v) = dag.edge_endpoints(e);
+            combine(colors[u.index()], colors[v.index()])
+        })
+        .collect();
+    edge_pairs.sort_unstable();
+    let mut words = [0u64; 4];
+    for (i, w) in words.iter_mut().enumerate() {
+        let mut h = mix(0xC0FF_EE00 + i as u64);
+        h = combine(h, dag.node_count() as u64);
+        h = combine(h, dag.edge_count() as u64);
+        for &c in &node_colors {
+            h = combine(h, c);
+        }
+        h = combine(h, PRED_TAG);
+        for &p in &edge_pairs {
+            h = combine(h, p);
+        }
+        *w = h;
+    }
+    CanonKey(words)
+}
+
+/// The iso-invariant fingerprint alone (cheaper than [`canonical_form`]: no
+/// individualization passes).
+pub fn canonical_key(dag: &Dag) -> CanonKey {
+    let mut colors = initial_colors(dag);
+    refine_to_fixpoint(dag, &mut colors);
+    key_from_colors(dag, &colors)
+}
+
+/// Compute the full canonical form: the key plus a canonical node numbering
+/// obtained by individualization-refinement over the WL color classes (ties
+/// beyond the caps break by original id — see the module soundness contract).
+pub fn canonical_form(dag: &Dag) -> CanonicalForm {
+    let n = dag.node_count();
+    let mut colors = initial_colors(dag);
+    refine_to_fixpoint(dag, &mut colors);
+    let key = key_from_colors(dag, &colors);
+
+    if n <= INDIVIDUALIZATION_LIMIT {
+        let mut work = 0usize;
+        for _ in 0..MAX_INDIVIDUALIZATIONS {
+            if work > INDIVIDUALIZATION_WORK {
+                break;
+            }
+            // Find the tied class with the smallest color; individualize its
+            // smallest-id member and re-refine so the distinction propagates.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by_key(|&i| (colors[i], i));
+            let mut target: Option<usize> = None;
+            let mut i = 0;
+            while i < n {
+                let mut j = i + 1;
+                while j < n && colors[order[j]] == colors[order[i]] {
+                    j += 1;
+                }
+                if j - i > 1 {
+                    target = Some(order[i]);
+                    break;
+                }
+                i = j;
+            }
+            let Some(v) = target else { break };
+            colors[v] = combine(INDIV_TAG, colors[v]);
+            work += n + refine_to_fixpoint(dag, &mut colors) * n;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| (colors[i], i));
+    let mut perm = vec![0usize; n];
+    for (canon, &orig) in order.iter().enumerate() {
+        perm[orig] = canon;
+    }
+    CanonicalForm { key, perm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::DagBuilder;
+
+    fn chain(len: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes(len);
+        for w in n.windows(2) {
+            b.add_edge(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    /// Relabel `dag` through `perm` (node `v` becomes `perm[v]`), reversing
+    /// the edge insertion order for good measure.
+    fn relabel(dag: &Dag, perm: &[usize]) -> Dag {
+        let mut b = DagBuilder::new();
+        b.add_nodes(dag.node_count());
+        let mut edges: Vec<(usize, usize)> = dag
+            .edges()
+            .map(|e| {
+                let (u, v) = dag.edge_endpoints(e);
+                (perm[u.index()], perm[v.index()])
+            })
+            .collect();
+        edges.reverse();
+        for (u, v) in edges {
+            b.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn key_is_invariant_under_relabeling() {
+        let dag = generators::fft(16).dag;
+        let n = dag.node_count();
+        // A fixed non-trivial permutation: reverse.
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let relabeled = relabel(&dag, &perm);
+        assert_eq!(canonical_key(&dag), canonical_key(&relabeled));
+    }
+
+    #[test]
+    fn different_structures_get_different_keys() {
+        let a = canonical_key(&chain(5));
+        let b = canonical_key(&chain(6));
+        let c = canonical_key(&generators::fft(8).dag);
+        let d = canonical_key(&generators::binary_tree(3));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn labels_are_ignored() {
+        let mut b1 = DagBuilder::new();
+        let x = b1.add_labeled_node("x");
+        let y = b1.add_labeled_node("y");
+        b1.add_edge(x, y);
+        let mut b2 = DagBuilder::new();
+        let p = b2.add_labeled_node("completely");
+        let q = b2.add_labeled_node("different");
+        b2.add_edge(p, q);
+        assert_eq!(
+            canonical_key(&b1.build().unwrap()),
+            canonical_key(&b2.build().unwrap())
+        );
+    }
+
+    #[test]
+    fn perm_is_a_permutation_and_inverse_inverts() {
+        let dag = generators::fft(16).dag;
+        let form = canonical_form(&dag);
+        let mut seen = vec![false; dag.node_count()];
+        for &p in &form.perm {
+            assert!(!seen[p], "duplicate canonical position {p}");
+            seen[p] = true;
+        }
+        let inv = form.inverse();
+        for v in dag.nodes() {
+            assert_eq!(inv[form.to_canonical(v)], v);
+        }
+    }
+
+    #[test]
+    fn canonical_translation_is_an_isomorphism_on_an_asymmetric_dag() {
+        // A DAG whose WL classes are all singletons: translation through the
+        // canonical numbering must map edges to edges exactly.
+        let dag = generators::random_layered(generators::RandomLayeredConfig {
+            layers: 5,
+            width: 6,
+            max_in_degree: 3,
+            seed: 7,
+        });
+        let n = dag.node_count();
+        let perm: Vec<usize> = (0..n).map(|i| (i * 17 + 3) % n).collect();
+        // (i*17+3) mod n is a bijection only when gcd(17, n) = 1; the
+        // generator's node count is not a multiple of 17 here.
+        assert_eq!(
+            distinct_count(&perm.iter().map(|&p| p as u64).collect::<Vec<_>>()),
+            n
+        );
+        let relabeled = relabel(&dag, &perm);
+        let f1 = canonical_form(&dag);
+        let f2 = canonical_form(&relabeled);
+        assert_eq!(f1.key, f2.key);
+        let inv2 = f2.inverse();
+        // v (in dag) -> canonical -> node of `relabeled`.
+        let translate = |v: NodeId| inv2[f1.to_canonical(v)];
+        for e in dag.edges() {
+            let (u, v) = dag.edge_endpoints(e);
+            assert!(
+                relabeled.has_edge(translate(u), translate(v)),
+                "edge ({u:?}, {v:?}) not preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let key = canonical_key(&chain(4));
+        let hex = key.hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(CanonKey::from_hex(&hex), Some(key));
+        assert_eq!(CanonKey::from_hex("zz"), None);
+        assert_eq!(key.to_string(), hex);
+    }
+}

@@ -27,12 +27,16 @@
 //!   pebble-collection gadgets, matrix–vector and matrix–matrix multiplication,
 //!   the m-point FFT butterfly, the attention (Q·Kᵀ) DAG, the Lemma 5.4
 //!   counterexample, and seeded random layered DAGs.
+//! * [`canon`] — iso-invariant canonical hashing (Weisfeiler–Leman color
+//!   refinement) and canonical node numbering, the substrate of the
+//!   content-addressed schedule cache.
 //! * [`export`] — DOT and JSON export for inspection and debugging.
 //! * [`stats`] — degree statistics and structural summaries.
 
 #![deny(missing_docs)]
 
 pub mod bitset;
+pub mod canon;
 pub mod decompose;
 pub mod dominators;
 pub mod export;

@@ -107,6 +107,15 @@ pub struct EngineConfig {
     /// parallelism; the default of `Default::default()` is 1 (sequential,
     /// deterministic statistics).
     pub workers: usize,
+    /// Fail fast on an early stop instead of synthesising an incumbent: a
+    /// beam solve interrupted before its last level normally *greedily
+    /// completes* the best partial schedule so the caller still gets a full
+    /// pebbling; with `fail_fast` it returns
+    /// [`ExactError::Interrupted`] instead. Lets deadline-driven callers
+    /// distinguish "the budget produced no incumbent" from a genuine
+    /// (possibly greedy-quality) answer. Exact A* mode is unaffected — it
+    /// already reports `Interrupted` when stopped without an incumbent.
+    pub fail_fast: bool,
 }
 
 impl EngineConfig {

@@ -8,6 +8,10 @@
 //! * [`dot`] — a Graphviz DOT digraph subset (node labels honoured);
 //! * [`json`] — a JSON node/edge document (node labels honoured).
 //!
+//! Beyond interchange, [`store`] is the versioned, checksummed binary format
+//! for *certified schedules*: the on-disk representation behind the
+//! content-addressed schedule cache of `pebble-serve`.
+//!
 //! All three parsers report **line/column-precise errors**
 //! ([`ParseError`]), reject duplicate edges and self-loops at the offending
 //! token, and reject cycles / isolated nodes / empty graphs after parsing
@@ -23,6 +27,7 @@ pub mod dot;
 pub mod edgelist;
 pub mod error;
 pub mod json;
+pub mod store;
 
 pub use error::{Location, ParseError, ParseErrorKind};
 

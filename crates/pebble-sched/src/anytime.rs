@@ -29,6 +29,7 @@ use pebble_game::exact::{LoadCountHeuristic, LowerBound};
 use pebble_game::moves::PrbpMove;
 use pebble_game::prbp::PrbpConfig;
 use pebble_game::trace::PrbpTrace;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Knobs of an anytime solve.
@@ -42,6 +43,13 @@ pub struct AnytimeConfig {
     /// greedy — the only width that stays comfortably inside tight deadlines
     /// on 10³⁺-node instances; raise it when the budget is generous.
     pub seed_width: usize,
+    /// Report [`AnytimeError::DeadlineNoIncumbent`] when the deadline
+    /// machinery stops the seeding phase before it has produced a single
+    /// validated schedule, instead of spending unbounded extra time
+    /// synthesising one greedily. Latency-sensitive callers (the serving
+    /// layer, `prbp schedule --deadline-ms`) set this so "the budget was too
+    /// small for this instance" is a distinct, machine-readable outcome.
+    pub fail_fast: bool,
 }
 
 impl AnytimeConfig {
@@ -52,6 +60,7 @@ impl AnytimeConfig {
             deadline,
             workers: 0,
             seed_width: 1,
+            fail_fast: false,
         }
     }
 
@@ -80,25 +89,68 @@ pub struct AnytimeOutcome {
     pub stop: StopReason,
 }
 
+/// Why an anytime solve produced no schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnytimeError {
+    /// `r < 2`: the PRBP game needs two red pebbles to aggregate anything.
+    SmallR {
+        /// The rejected cache size.
+        r: usize,
+    },
+    /// The deadline expired before any incumbent existed (only reachable
+    /// with [`AnytimeConfig::fail_fast`]).
+    DeadlineNoIncumbent,
+}
+
+impl fmt::Display for AnytimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnytimeError::SmallR { r } => {
+                write!(f, "r = {r} is too small for PRBP scheduling (need r >= 2)")
+            }
+            AnytimeError::DeadlineNoIncumbent => {
+                write!(f, "deadline expired before any incumbent schedule existed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnytimeError {}
+
 /// Schedule `dag` in PRBP with cache size `r` under a wall-clock deadline.
-/// Returns `None` for `r < 2`. The returned schedule is always
-/// simulator-validated and paired with an admissible bound; attach
-/// `progress` to stream incumbents while the solve runs.
+/// Returns `None` for `r < 2` (see [`anytime_prbp_result`] for the
+/// error-typed variant used by deadline-sensitive callers). The returned
+/// schedule is always simulator-validated and paired with an admissible
+/// bound; attach `progress` to stream incumbents while the solve runs.
 pub fn anytime_prbp(
     dag: &Dag,
     r: usize,
     config: &AnytimeConfig,
     progress: Option<&Progress<PrbpMove>>,
 ) -> Option<AnytimeOutcome> {
+    anytime_prbp_result(dag, r, config, progress).ok()
+}
+
+/// [`anytime_prbp`] with a typed error: distinguishes `r < 2` from a
+/// deadline that expired before any incumbent existed (the latter only with
+/// [`AnytimeConfig::fail_fast`]; without it the seeding phase always
+/// synthesises a full schedule, so the only failure mode is `SmallR`).
+pub fn anytime_prbp_result(
+    dag: &Dag,
+    r: usize,
+    config: &AnytimeConfig,
+    progress: Option<&Progress<PrbpMove>>,
+) -> Result<AnytimeOutcome, AnytimeError> {
     if r < 2 {
-        return None;
+        return Err(AnytimeError::SmallR { r });
     }
     let started = Instant::now();
     let game = PrbpConfig::new(r);
 
     // Phase 1: seed. Half the budget caps the adaptive beam; an early stop
     // still returns a full schedule (the engine greedy-completes the best
-    // partial). The streaming greedy is near-free and often much cheaper on
+    // partial) unless `fail_fast` asked for a genuine incumbent or nothing.
+    // The streaming greedy is near-free and often much cheaper on
     // structured instances, so the exact phase starts from the better of
     // the two — the engine validates and (if a progress channel is
     // attached) publishes whichever seed it receives.
@@ -106,17 +158,24 @@ pub fn anytime_prbp(
         deadline: Some(config.deadline / 2),
         width: Some(config.seed_width.max(1)),
         workers: config.workers,
+        fail_fast: config.fail_fast,
         ..EngineConfig::default()
     };
-    let beam = solve_prbp(
+    let beam = match solve_prbp(
         dag,
         game,
         &beam_engine,
         HeuristicSpec::Single(&LoadCountHeuristic),
         None,
         progress,
-    )
-    .ok()?;
+    ) {
+        Ok(beam) => beam,
+        // Only reachable with `fail_fast` (r < 2 was rejected above): the
+        // seeding budget stopped the beam before a validated schedule
+        // existed. Deliberately *not* papered over with the untimed greedy —
+        // the caller asked for a bounded-latency answer.
+        Err(_) => return Err(AnytimeError::DeadlineNoIncumbent),
+    };
     let dfs = order::dfs_postorder(dag);
     let greedy = greedy_prbp_into(dag, r, &dfs, &mut FurthestInFuture, PrbpTrace::new());
     let (seed_trace, seed_cost) = match greedy {
@@ -131,7 +190,7 @@ pub fn anytime_prbp(
         stop: StopReason::Deadline,
     };
     if seed.proven_optimal {
-        return Some(AnytimeOutcome {
+        return Ok(AnytimeOutcome {
             stop: StopReason::Completed,
             ..seed
         });
@@ -140,7 +199,7 @@ pub fn anytime_prbp(
     // Phase 2: seeded exact improvement for the remaining budget.
     let remaining = config.deadline.saturating_sub(started.elapsed());
     if remaining.is_zero() {
-        return Some(seed);
+        return Ok(seed);
     }
     let make = || Box::new(LoadCountHeuristic) as Box<dyn LowerBound>;
     let exact_engine = EngineConfig {
@@ -156,7 +215,7 @@ pub fn anytime_prbp(
         Some(&seed.trace),
         progress,
     ) {
-        Ok(out) => Some(AnytimeOutcome {
+        Ok(out) => Ok(AnytimeOutcome {
             trace: out.trace,
             cost: out.cost,
             bound: out.bound.max(seed.bound),
@@ -165,7 +224,7 @@ pub fn anytime_prbp(
         }),
         // Unreachable with a valid seed, but degrade to the seed rather
         // than dropping a certified answer on the floor.
-        Err(_) => Some(seed),
+        Err(_) => Ok(seed),
     }
 }
 
@@ -215,5 +274,38 @@ mod tests {
             None
         )
         .is_none());
+        assert!(matches!(
+            anytime_prbp_result(
+                &f.dag,
+                1,
+                &AnytimeConfig::new(Duration::from_millis(10)),
+                None
+            ),
+            Err(AnytimeError::SmallR { r: 1 })
+        ));
+    }
+
+    #[test]
+    fn fail_fast_reports_deadline_no_incumbent_on_an_expired_budget() {
+        // A zero deadline stops the beam at its very first level check, so
+        // with `fail_fast` no incumbent can exist — deterministically, on
+        // any machine.
+        let f = fft(64);
+        let config = AnytimeConfig {
+            fail_fast: true,
+            ..AnytimeConfig::new(Duration::ZERO)
+        };
+        assert!(matches!(
+            anytime_prbp_result(&f.dag, 8, &config, None),
+            Err(AnytimeError::DeadlineNoIncumbent)
+        ));
+        // Without fail_fast the same budget still yields a full validated
+        // schedule (the greedy completion path).
+        let out = anytime_prbp(&f.dag, 8, &AnytimeConfig::new(Duration::ZERO), None)
+            .expect("greedy completion synthesises an incumbent");
+        assert_eq!(
+            out.trace.validate(&f.dag, PrbpConfig::new(8)).unwrap(),
+            out.cost
+        );
     }
 }

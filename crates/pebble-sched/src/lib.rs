@@ -55,7 +55,7 @@ pub mod policy;
 pub mod report;
 pub mod suite;
 
-pub use anytime::{anytime_prbp, AnytimeConfig, AnytimeOutcome};
+pub use anytime::{anytime_prbp, anytime_prbp_result, AnytimeConfig, AnytimeError, AnytimeOutcome};
 pub use beam::{beam_prbp, BeamConfig};
 pub use compose::{compose_prbp, compose_prbp_report, ComposeConfig, ComposeOutcome};
 pub use edges::{cone_affinity_edges, greedy_prbp_edges};

@@ -1,0 +1,29 @@
+//! Error type shared by the serving layer.
+
+use std::fmt;
+
+/// Why a serving-layer operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (binding, accepting).
+    Io(std::io::Error),
+    /// The schedule cache could not be read or written.
+    Cache(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Cache(m) => write!(f, "cache error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

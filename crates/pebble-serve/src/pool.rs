@@ -1,0 +1,112 @@
+//! A bounded thread pool: fixed workers draining a bounded queue.
+//!
+//! The queue bound is the server's backpressure: when every worker is busy
+//! and the backlog is full, [`Pool::submit`] blocks the acceptor, which in
+//! turn lets the kernel's listen queue absorb (and eventually reject) the
+//! overflow instead of the process buffering unbounded work.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool over a bounded job queue.
+pub struct Pool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `workers` threads sharing a queue bounded at `backlog` pending
+    /// jobs (0 makes every submit rendezvous with an idle worker).
+    pub fn new(workers: usize, backlog: usize) -> Pool {
+        let workers = workers.max(1);
+        let (sender, receiver) = sync_channel::<Job>(backlog);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("prbp-serve-{i}"))
+                    .spawn(move || worker_loop(receiver))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Pool {
+            sender: Some(sender),
+            workers: handles,
+        }
+    }
+
+    /// Enqueue a job; blocks while the backlog is full. Returns `false` if
+    /// the pool is already shut down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(s) => s.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Close the queue and join every worker (pending jobs finish first).
+    pub fn shutdown(mut self) {
+        self.sender = None; // drop the sender: workers see a closed channel
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.sender = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("pool receiver poisoned");
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: shut down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = Pool::new(4, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = Pool::new(0, 0);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        assert!(pool.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        }));
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! The scheduling service: accept DAGs over HTTP, answer with certified
+//! schedules, backed by the content-addressed cache.
+//!
+//! Request flow (`POST /v1/schedule`): parse (any `pebble-io` format) →
+//! canonical hash ([`pebble_dag::canon`]) → cache lookup (hits are
+//! simulator-re-validated before they are served) → on a miss, a
+//! deadline-bounded anytime solve ([`pebble_sched::anytime`]) whose
+//! certified result is inserted for the next request of the same shape.
+//! Every response is either a validated certificate or a structured JSON
+//! error; a deadline too small to produce any incumbent is the distinct
+//! `"status":"deadline-no-incumbent"` outcome (HTTP 504), never a panic.
+
+use crate::cache::ScheduleCache;
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::pool::Pool;
+use pebble_dag::canon::canonical_form;
+use pebble_dag::Dag;
+use pebble_io::json::escape;
+use pebble_io::Format;
+use pebble_sched::{
+    anytime_prbp_result, certify_prbp_with, AnytimeConfig, AnytimeError, BoundSet, ScheduleReport,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of a serving instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:7117`; port 0 picks a free port).
+    pub addr: String,
+    /// Request-handling worker threads.
+    pub workers: usize,
+    /// Pending-connection backlog before the acceptor blocks.
+    pub backlog: usize,
+    /// Default per-request solve budget (query `deadline_ms` overrides).
+    pub deadline: Duration,
+    /// Threads inside each anytime solve (0 = available parallelism).
+    pub solver_workers: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            workers: 4,
+            backlog: 64,
+            deadline: Duration::from_millis(250),
+            solver_workers: 0,
+            max_body: 16 << 20,
+        }
+    }
+}
+
+struct Ctx {
+    cache: Arc<ScheduleCache>,
+    deadline: Duration,
+    solver_workers: usize,
+    max_body: usize,
+    requests: AtomicU64,
+}
+
+/// A running scheduling service. Dropping it without calling
+/// [`Server::shutdown`] leaves the acceptor thread running for the rest of
+/// the process; tests and the CLI always shut down explicitly.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    cache: Arc<ScheduleCache>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    pub fn start(config: &ServeConfig, cache: Arc<ScheduleCache>) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(Ctx {
+            cache: Arc::clone(&cache),
+            deadline: config.deadline,
+            solver_workers: config.solver_workers,
+            max_body: config.max_body,
+            requests: AtomicU64::new(0),
+        });
+        let pool = Pool::new(config.workers, config.backlog);
+        let stop_flag = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("prbp-serve-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            let ctx = Arc::clone(&ctx);
+                            pool.submit(move || handle_connection(stream, &ctx));
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                pool.shutdown(); // drain pending requests before exiting
+            })
+            .expect("spawning the acceptor");
+        Ok(Server {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            cache,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cache this server answers from.
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    ctx.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match read_request(&mut stream, ctx.max_body) {
+        Ok(request) => request,
+        Err(HttpError::BodyTooLarge { declared, limit }) => {
+            let body = error_body(&format!(
+                "body of {declared} bytes exceeds the {limit}-byte limit"
+            ));
+            let _ = write_response(&mut stream, 413, "Payload Too Large", JSON, body.as_bytes());
+            return;
+        }
+        Err(HttpError::Malformed(m)) => {
+            let body = error_body(&format!("malformed request: {m}"));
+            let _ = write_response(&mut stream, 400, "Bad Request", JSON, body.as_bytes());
+            return;
+        }
+        Err(HttpError::Io(_)) => return, // client went away; nothing to say
+    };
+    // A panic inside a handler must never take down the worker: answer 500
+    // and keep serving.
+    let (status, reason, body) = match catch_unwind(AssertUnwindSafe(|| route(&request, ctx))) {
+        Ok(response) => response,
+        Err(_) => (
+            500,
+            "Internal Server Error",
+            error_body("internal error: request handler panicked"),
+        ),
+    };
+    let _ = write_response(&mut stream, status, reason, JSON, body.as_bytes());
+}
+
+const JSON: &str = "application/json";
+
+fn error_body(message: &str) -> String {
+    format!("{{\"status\":\"error\",\"error\":\"{}\"}}", escape(message))
+}
+
+type Response = (u16, &'static str, String);
+
+fn route(request: &Request, ctx: &Ctx) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "OK", "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/v1/stats") => stats_response(ctx),
+        ("POST", "/v1/schedule") => schedule_response(request, ctx),
+        (_, "/healthz" | "/v1/stats" | "/v1/schedule") => (
+            405,
+            "Method Not Allowed",
+            error_body(&format!(
+                "method {} not allowed on {}",
+                request.method, request.path
+            )),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            error_body(&format!("no such endpoint: {}", request.path)),
+        ),
+    }
+}
+
+fn stats_response(ctx: &Ctx) -> Response {
+    let stats = ctx.cache.stats();
+    let body = format!(
+        "{{\"status\":\"ok\",\"requests\":{},\"cache\":{{\"hits\":{},\"misses\":{},\
+         \"insertions\":{},\"entries\":{}}}}}",
+        ctx.requests.load(Ordering::Relaxed),
+        stats.hits,
+        stats.misses,
+        stats.insertions,
+        stats.entries
+    );
+    (200, "OK", body)
+}
+
+fn bad_request(message: &str) -> Response {
+    (400, "Bad Request", error_body(message))
+}
+
+fn schedule_response(request: &Request, ctx: &Ctx) -> Response {
+    let r: usize = match request.query.get("r").map(|v| v.parse()) {
+        Some(Ok(r)) => r,
+        Some(Err(_)) => return bad_request("query parameter `r` is not a number"),
+        None => return bad_request("missing required query parameter `r`"),
+    };
+    let deadline = match request.query.get("deadline_ms").map(|v| v.parse::<u64>()) {
+        Some(Ok(ms)) => Duration::from_millis(ms),
+        Some(Err(_)) => return bad_request("query parameter `deadline_ms` is not a number"),
+        None => ctx.deadline,
+    };
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return bad_request("request body is not valid UTF-8"),
+    };
+    let format = match request.query.get("format") {
+        Some(name) => match name.parse::<Format>() {
+            Ok(format) => format,
+            Err(e) => return bad_request(&e),
+        },
+        None => Format::sniff(text),
+    };
+    let dag = match pebble_io::parse(text, format) {
+        Ok(dag) => dag,
+        Err(e) => return bad_request(&format!("parse error ({format}): {e}")),
+    };
+
+    // Everything from here is what `solve_us` measures: hashing, cache
+    // lookup (including re-validation) and — on a miss — the solve.
+    let solve_started = Instant::now();
+    let form = canonical_form(&dag);
+    if let Some(hit) = ctx.cache.lookup(&dag, &form, r) {
+        return ok_response(&dag, format, r, deadline, "hit", &hit.report, solve_started);
+    }
+    let anytime = AnytimeConfig {
+        workers: ctx.solver_workers,
+        fail_fast: true,
+        ..AnytimeConfig::new(deadline)
+    };
+    let outcome = match anytime_prbp_result(&dag, r, &anytime, None) {
+        Ok(outcome) => outcome,
+        Err(AnytimeError::SmallR { r }) => {
+            return bad_request(&format!("r = {r} is too small for PRBP (need r >= 2)"))
+        }
+        Err(AnytimeError::DeadlineNoIncumbent) => {
+            let body = format!(
+                "{{\"status\":\"deadline-no-incumbent\",\"error\":\"deadline of {} ms expired \
+                 before any incumbent schedule existed\",\"deadline_ms\":{}}}",
+                deadline.as_millis(),
+                deadline.as_millis()
+            );
+            return (504, "Gateway Timeout", body);
+        }
+    };
+    let scheduler = if outcome.proven_optimal {
+        "anytime:optimal"
+    } else {
+        "anytime"
+    };
+    let report =
+        match certify_prbp_with(&dag, r, &outcome.trace, scheduler, BoundSet::auto_for(&dag)) {
+            Ok(report) => report,
+            // Unreachable: the anytime outcome is already simulator-validated.
+            Err(e) => {
+                return (
+                    500,
+                    "Internal Server Error",
+                    error_body(&format!("anytime schedule failed re-validation: {e}")),
+                )
+            }
+        };
+    if let Err(e) = ctx.cache.insert(&dag, &form, r, &report, &outcome.trace) {
+        // A cache write failure degrades to cold-serving; the answer stands.
+        let _ = e;
+    }
+    ok_response(&dag, format, r, deadline, "miss", &report, solve_started)
+}
+
+fn ok_response(
+    dag: &Dag,
+    format: Format,
+    r: usize,
+    deadline: Duration,
+    cache: &str,
+    report: &ScheduleReport,
+    solve_started: Instant,
+) -> Response {
+    let solve_us = solve_started.elapsed().as_micros();
+    let report_json = serde_json::to_string(report).unwrap_or_else(|_| "null".to_string());
+    let gap = serde_json::to_string(&report.gap()).unwrap_or_else(|_| "null".to_string());
+    let body = format!(
+        "{{\"status\":\"ok\",\"cache\":\"{cache}\",\"r\":{r},\"deadline_ms\":{},\
+         \"input\":{{\"nodes\":{},\"edges\":{},\"format\":\"{}\"}},\
+         \"solve_us\":{solve_us},\"gap\":{gap},\"report\":{report_json}}}",
+        deadline.as_millis(),
+        dag.node_count(),
+        dag.edge_count(),
+        format.name()
+    );
+    (200, "OK", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client_request;
+    use pebble_dag::generators::fft;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("prbp-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn start_server(tag: &str) -> Server {
+        let cache = Arc::new(ScheduleCache::open(scratch(tag)).unwrap());
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            deadline: Duration::from_millis(500),
+            ..ServeConfig::default()
+        };
+        Server::start(&config, cache).unwrap()
+    }
+
+    #[test]
+    fn healthz_stats_and_a_cold_then_warm_schedule() {
+        let server = start_server("basic");
+        let addr = server.local_addr().to_string();
+        let timeout = Duration::from_secs(30);
+
+        let (status, body) = client_request(&addr, "GET", "/healthz", b"", timeout).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"status\":\"ok\"}");
+
+        let doc = pebble_io::write(&fft(8).dag, Format::Json);
+        let (status, cold) = client_request(
+            &addr,
+            "POST",
+            "/v1/schedule?r=4&deadline_ms=2000",
+            doc.as_bytes(),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&cold));
+        let cold = String::from_utf8(cold).unwrap();
+        assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+        assert!(cold.contains("\"status\":\"ok\""), "{cold}");
+
+        let (status, warm) = client_request(
+            &addr,
+            "POST",
+            "/v1/schedule?r=4&deadline_ms=2000",
+            doc.as_bytes(),
+            timeout,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let warm = String::from_utf8(warm).unwrap();
+        assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+        // The certified sub-document is byte-identical across cold and warm.
+        assert_eq!(report_of(&cold), report_of(&warm));
+
+        let (status, stats) = client_request(&addr, "GET", "/v1/stats", b"", timeout).unwrap();
+        assert_eq!(status, 200);
+        let stats = String::from_utf8(stats).unwrap();
+        assert!(stats.contains("\"hits\":1"), "{stats}");
+
+        let dir = server.cache().dir().to_path_buf();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn structured_errors_for_bad_requests() {
+        let server = start_server("errors");
+        let addr = server.local_addr().to_string();
+        let timeout = Duration::from_secs(10);
+
+        let (status, _) = client_request(&addr, "GET", "/nope", b"", timeout).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client_request(&addr, "GET", "/v1/schedule", b"", timeout).unwrap();
+        assert_eq!(status, 405);
+        let (status, body) =
+            client_request(&addr, "POST", "/v1/schedule", b"0 1\n", timeout).unwrap();
+        assert_eq!(status, 400, "missing r");
+        assert!(String::from_utf8(body)
+            .unwrap()
+            .contains("\"status\":\"error\""));
+        let (status, _) =
+            client_request(&addr, "POST", "/v1/schedule?r=4", b"not { a graph", timeout).unwrap();
+        assert_eq!(status, 400, "unparseable body");
+
+        let dir = server.cache().dir().to_path_buf();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn zero_deadline_is_the_structured_504() {
+        let server = start_server("deadline");
+        let addr = server.local_addr().to_string();
+        let doc = pebble_io::write(&fft(64).dag, Format::Json);
+        let (status, body) = client_request(
+            &addr,
+            "POST",
+            "/v1/schedule?r=8&deadline_ms=0",
+            doc.as_bytes(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(status, 504);
+        assert!(String::from_utf8(body)
+            .unwrap()
+            .contains("\"status\":\"deadline-no-incumbent\""));
+        let dir = server.cache().dir().to_path_buf();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Extract the `"report":{...}` suffix (it is the last key).
+    fn report_of(body: &str) -> &str {
+        let i = body.find("\"report\":").expect("report key");
+        &body[i..]
+    }
+}

@@ -1,0 +1,211 @@
+//! Concurrency hammer for the serving layer: N client threads firing a mix
+//! of cached, cold and malformed requests at one server.
+//!
+//! The contract under concurrency:
+//!
+//! * no panic ever reaches a client (a handler panic is a 500, and the
+//!   worker keeps serving);
+//! * every response is either a validated certificate (`"status":"ok"`) or
+//!   a structured JSON error with a `"status"` field;
+//! * cache hits are byte-identical to the first solve's certificate.
+
+use pebble_dag::generators::{binary_tree, fft};
+use pebble_io::Format;
+use pebble_serve::http::client_request;
+use pebble_serve::{ScheduleCache, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("prbp-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The `"report":{...}` sub-document — the certificate, which must be
+/// byte-stable across cache hits (timing fields vary, the certificate must
+/// not).
+fn report_of(body: &str) -> &str {
+    let i = body
+        .find("\"report\":")
+        .expect("ok responses carry a report");
+    &body[i..]
+}
+
+#[test]
+fn hammering_with_mixed_requests_yields_only_certificates_or_structured_errors() {
+    let cache = Arc::new(ScheduleCache::open(scratch("hammer")).unwrap());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(&config, cache).unwrap();
+    let addr = server.local_addr().to_string();
+    let timeout = Duration::from_secs(60);
+
+    // Prime the cache with one shape so the mix genuinely contains hits,
+    // and remember its certificate bytes.
+    let cached_doc = pebble_io::write(&fft(8).dag, Format::Json);
+    let (status, first) = client_request(
+        &addr,
+        "POST",
+        "/v1/schedule?r=4&deadline_ms=5000",
+        cached_doc.as_bytes(),
+        timeout,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&first));
+    let first = String::from_utf8(first).unwrap();
+    let first_report = report_of(&first).to_string();
+
+    let cold_doc = pebble_io::write(&binary_tree(4), Format::Json);
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let addr = addr.clone();
+            let cached_doc = cached_doc.clone();
+            let cold_doc = cold_doc.clone();
+            let first_report = first_report.clone();
+            std::thread::spawn(move || {
+                for i in 0..6 {
+                    match (t + i) % 4 {
+                        // Cached shape: must be a hit with the exact same
+                        // certificate bytes as the first solve.
+                        0 => {
+                            let (status, body) = client_request(
+                                &addr,
+                                "POST",
+                                "/v1/schedule?r=4&deadline_ms=5000",
+                                cached_doc.as_bytes(),
+                                Duration::from_secs(60),
+                            )
+                            .expect("request");
+                            let body = String::from_utf8(body).expect("utf8");
+                            assert_eq!(status, 200, "{body}");
+                            assert!(body.contains("\"status\":\"ok\""), "{body}");
+                            assert_eq!(report_of(&body), first_report, "hit certificate drifted");
+                        }
+                        // Cold-ish shape (first thread to arrive solves it,
+                        // the rest hit): always a valid certificate.
+                        1 => {
+                            let (status, body) = client_request(
+                                &addr,
+                                "POST",
+                                "/v1/schedule?r=3&deadline_ms=5000",
+                                cold_doc.as_bytes(),
+                                Duration::from_secs(60),
+                            )
+                            .expect("request");
+                            let body = String::from_utf8(body).expect("utf8");
+                            assert_eq!(status, 200, "{body}");
+                            assert!(body.contains("\"best_bound\""), "{body}");
+                        }
+                        // Malformed body: structured 400, never a panic.
+                        2 => {
+                            let (status, body) = client_request(
+                                &addr,
+                                "POST",
+                                "/v1/schedule?r=4",
+                                b"this is { not a dag",
+                                Duration::from_secs(60),
+                            )
+                            .expect("request");
+                            let body = String::from_utf8(body).expect("utf8");
+                            assert_eq!(status, 400, "{body}");
+                            assert!(body.contains("\"status\":\"error\""), "{body}");
+                        }
+                        // Bad parameters: structured 400.
+                        _ => {
+                            let (status, body) = client_request(
+                                &addr,
+                                "POST",
+                                "/v1/schedule?r=zero",
+                                cached_doc.as_bytes(),
+                                Duration::from_secs(60),
+                            )
+                            .expect("request");
+                            let body = String::from_utf8(body).expect("utf8");
+                            assert_eq!(status, 400, "{body}");
+                            assert!(body.contains("\"status\":\"error\""), "{body}");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no client thread may observe a panic");
+    }
+
+    // The server survived the hammer and still answers.
+    let (status, _) = client_request(&addr, "GET", "/healthz", b"", timeout).unwrap();
+    assert_eq!(status, 200);
+    let (status, stats) = client_request(&addr, "GET", "/v1/stats", b"", timeout).unwrap();
+    assert_eq!(status, 200);
+    let stats = String::from_utf8(stats).unwrap();
+    assert!(stats.contains("\"hits\":"), "{stats}");
+
+    let dir = server.cache().dir().to_path_buf();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Pull a numeric field out of a flat JSON response.
+fn field(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let i = body.find(&pat).unwrap_or_else(|| panic!("{key} in {body}")) + pat.len();
+    body[i..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+#[test]
+fn concurrent_cold_requests_for_the_same_shape_agree() {
+    // Several threads race to solve the same uncached shape. Distinct
+    // optimal traces may differ move-by-move (the exact phase searches in
+    // parallel), but every certificate must agree on the validated cost and
+    // the admissible bound — and the instance is small enough that every
+    // solve proves optimality within the deadline.
+    let cache = Arc::new(ScheduleCache::open(scratch("race")).unwrap());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(&config, cache).unwrap();
+    let addr = server.local_addr().to_string();
+    let doc = pebble_io::write(&fft(4).dag, Format::Json);
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let doc = doc.clone();
+            std::thread::spawn(move || {
+                let (status, body) = client_request(
+                    &addr,
+                    "POST",
+                    "/v1/schedule?r=4&deadline_ms=5000",
+                    doc.as_bytes(),
+                    Duration::from_secs(60),
+                )
+                .expect("request");
+                let body = String::from_utf8(body).expect("utf8");
+                assert_eq!(status, 200, "{body}");
+                (field(&body, "cost"), field(&body, "best_bound"))
+            })
+        })
+        .collect();
+    let outcomes: Vec<(u64, u64)> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for o in &outcomes[1..] {
+        assert_eq!(o, &outcomes[0], "racing solves disagreed on cost/bound");
+    }
+
+    let dir = server.cache().dir().to_path_buf();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,59 @@
+//! Serving round trip, fully in-process: start the certified-scheduling
+//! server on a scratch cache, submit the same DAG twice over real HTTP, and
+//! watch the second request come back from the content-addressed cache.
+//!
+//! Run with: `cargo run --example serve_roundtrip`
+
+use prbp::io::Format;
+use prbp::serve::http::client_request;
+use prbp::serve::{ScheduleCache, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache_dir = std::env::temp_dir().join(format!("prbp-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = Arc::new(ScheduleCache::open(&cache_dir)?);
+    let server = Server::start(
+        &ServeConfig {
+            addr: "127.0.0.1:0".to_string(), // port 0: pick a free port
+            deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
+        },
+        cache,
+    )?;
+    let addr = server.local_addr().to_string();
+    println!("serving on http://{addr}");
+
+    // A 64-point FFT butterfly, shipped as the JSON interchange format.
+    let doc = prbp::io::write(&prbp::dag::generators::fft(64).dag, Format::Json);
+    let timeout = Duration::from_secs(60);
+
+    // Cold: solved under the deadline, certified, inserted into the cache.
+    let (status, body) = client_request(
+        &addr,
+        "POST",
+        "/v1/schedule?r=16&deadline_ms=10000",
+        doc.as_bytes(),
+        timeout,
+    )?;
+    println!("cold  ({status}): {}", String::from_utf8_lossy(&body));
+
+    // Warm: same shape, answered from the cache after the stored schedule
+    // re-validated through the simulator on this request's DAG.
+    let (status, body) =
+        client_request(&addr, "POST", "/v1/schedule?r=16", doc.as_bytes(), timeout)?;
+    let warm = String::from_utf8_lossy(&body).into_owned();
+    println!("warm  ({status}): {warm}");
+    assert!(
+        warm.contains("\"cache\":\"hit\""),
+        "second request must hit"
+    );
+
+    let (status, body) = client_request(&addr, "GET", "/v1/stats", b"", timeout)?;
+    println!("stats ({status}): {}", String::from_utf8_lossy(&body));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    Ok(())
+}

@@ -10,19 +10,28 @@
 //!   sequence is validated and certified as it is produced, never stored, so
 //!   million-node DAGs run in memory proportional to the graph itself;
 //! * `prbp bound` — evaluate the admissible lower-bound ladder only;
-//! * `prbp convert` — translate between the interchange formats.
+//! * `prbp convert` — translate between the interchange formats;
+//! * `prbp serve` — run the certified-scheduling HTTP service over a
+//!   content-addressed schedule cache;
+//! * `prbp warm` — precompute that cache from a directory of instances;
+//! * `prbp submit` — client for a running `prbp serve`.
 //!
-//! Exit codes: 0 success, 1 runtime/parse error, 2 usage error.
+//! Exit codes: 0 success, 1 runtime/parse error, 2 usage error, 3 deadline
+//! expired before any incumbent schedule existed (`--deadline-ms` solves and
+//! `submit`; the JSON document carries `"status":"deadline-no-incumbent"`).
 
 use pebble_dag::{generators, Dag};
 use pebble_io::Format;
 use pebble_sched::{
-    anytime_prbp, best_prbp, certify_greedy_prbp, certify_greedy_rbp, certify_prbp_with,
+    anytime_prbp_result, best_prbp, certify_greedy_prbp, certify_greedy_rbp, certify_prbp_with,
     certify_rbp_with, default_suite, prbp_bound_ladder, rbp_bound_ladder, AnytimeConfig,
-    AnytimeOutcome, BoundSet, BoundValue, ScheduleReport, Scheduler,
+    AnytimeError, AnytimeOutcome, BoundSet, BoundValue, ComposeConfig, ScheduleReport, Scheduler,
 };
+use pebble_serve::http::client_request_with_retries;
+use pebble_serve::{warm_from_dir, ScheduleCache, ServeConfig, Server};
 use std::collections::HashMap;
 use std::io::Read;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "prbp — schedule and certify DAG workloads in the (P)RBP pebble games
@@ -50,6 +59,19 @@ USAGE:
   prbp bound --input PATH --r <cache> [--model prbp|rbp] [--format F]
              [--bounds fast|full|auto] [--out PATH]
   prbp convert --input PATH --out PATH [--from F] [--to F]
+  prbp serve --cache-dir DIR [--addr HOST:PORT] [--deadline-ms MS]
+             [--workers N] [--solver-workers N]
+      certified scheduling as a service: POST /v1/schedule answers with a
+      validated ScheduleReport, repeated shapes from the content-addressed
+      cache (see docs/API.md)
+  prbp warm --cache-dir DIR --dir INSTANCE_DIR --r <cache>
+            [--exact-budget N]
+      precompute the cache: schedule every instance file in INSTANCE_DIR
+      with the structure-aware compose pipeline and store the certificates
+  prbp submit --addr HOST:PORT --input PATH --r <cache>
+              [--deadline-ms MS] [--format F] [--out PATH]
+      send one DAG to a running server; exit 3 if the server reports
+      deadline-no-incumbent
 
   F: edgelist | dot | json (default: by file extension, else sniffed;
      `--input -` reads stdin)
@@ -75,6 +97,9 @@ fn run() -> i32 {
         "schedule" => cmd_schedule(&args),
         "bound" => cmd_bound(&args),
         "convert" => cmd_convert(&args),
+        "serve" => cmd_serve(&args),
+        "warm" => cmd_warm(&args),
+        "submit" => cmd_submit(&args),
         other => return usage_error(&format!("unknown subcommand `{other}`")),
     };
     match result {
@@ -83,6 +108,10 @@ fn run() -> i32 {
         Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             1
+        }
+        Err(CliError::DeadlineNoIncumbent(msg)) => {
+            eprintln!("error: {msg}");
+            3
         }
     }
 }
@@ -95,6 +124,9 @@ fn usage_error(msg: &str) -> i32 {
 enum CliError {
     Usage(String),
     Runtime(String),
+    /// The deadline expired before any incumbent schedule existed. Exit
+    /// code 3; the machine-readable document has already been written.
+    DeadlineNoIncumbent(String),
 }
 
 fn usage(msg: impl Into<String>) -> CliError {
@@ -355,7 +387,7 @@ fn anytime_doc(
 ) -> String {
     let report_json = serde_json::to_string(report).expect("report serialises");
     format!(
-        "{{\"input\":{{\"path\":\"{}\",\"format\":\"{}\",\"nodes\":{},\"edges\":{}}},\
+        "{{\"status\":\"ok\",\"input\":{{\"path\":\"{}\",\"format\":\"{}\",\"nodes\":{},\"edges\":{}}},\
          \"anytime\":{{\"deadline_ms\":{deadline_ms},\"workers\":{workers},\"solve_ms\":{solve_ms},\
          \"stop\":\"{}\",\"proven_optimal\":{}}},\"report\":{},\"gap\":{:.4}}}\n",
         json_escape(path),
@@ -400,13 +432,37 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
             return Err(usage("--deadline-ms must be >= 1"));
         }
         let workers = args.usize_or("workers", 0)?;
+        // Fail fast: a budget too small to produce even a first incumbent
+        // is a distinct, machine-readable outcome (exit code 3), not an
+        // unbounded extra greedy pass.
         let config = AnytimeConfig {
             workers,
+            fail_fast: true,
             ..AnytimeConfig::new(Duration::from_millis(deadline_ms as u64))
         };
         let started = Instant::now();
-        let outcome = anytime_prbp(&dag, r, &config, None)
-            .ok_or_else(|| runtime(format!("r = {r} is too small (PRBP needs r >= 2)")))?;
+        let outcome = match anytime_prbp_result(&dag, r, &config, None) {
+            Ok(outcome) => outcome,
+            Err(AnytimeError::SmallR { r }) => {
+                return Err(runtime(format!("r = {r} is too small (PRBP needs r >= 2)")))
+            }
+            Err(AnytimeError::DeadlineNoIncumbent) => {
+                let doc = format!(
+                    "{{\"status\":\"deadline-no-incumbent\",\"input\":{{\"path\":\"{}\",\
+                     \"format\":\"{}\",\"nodes\":{},\"edges\":{}}},\
+                     \"anytime\":{{\"deadline_ms\":{deadline_ms},\"workers\":{workers}}}}}\n",
+                    json_escape(&path),
+                    format.name(),
+                    dag.node_count(),
+                    dag.edge_count()
+                );
+                write_output(args.get("out"), &doc)?;
+                return Err(CliError::DeadlineNoIncumbent(format!(
+                    "deadline of {deadline_ms} ms expired before any incumbent schedule \
+                     existed for {path} at r = {r}"
+                )));
+            }
+        };
         let solve_ms = started.elapsed().as_millis();
         let report = certify_prbp_with(&dag, r, &outcome.trace, "anytime", set)
             .map_err(|e| runtime(format!("certification failed: {e}")))?;
@@ -551,4 +607,110 @@ fn cmd_convert(args: &Args) -> Result<(), CliError> {
         dag.edge_count()
     );
     write_output(Some(&out), &pebble_io::write(&dag, to))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    args.check_known(&[
+        "cache-dir",
+        "addr",
+        "deadline-ms",
+        "workers",
+        "solver-workers",
+    ])?;
+    let cache_dir = args.require("cache-dir")?.to_string();
+    let deadline_ms = args.usize_or("deadline-ms", 250)?;
+    if deadline_ms == 0 {
+        return Err(usage("--deadline-ms must be >= 1"));
+    }
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7117").to_string(),
+        workers: args.usize_or("workers", 4)?.max(1),
+        deadline: Duration::from_millis(deadline_ms as u64),
+        solver_workers: args.usize_or("solver-workers", 0)?,
+        ..ServeConfig::default()
+    };
+    let cache = Arc::new(
+        ScheduleCache::open(&cache_dir).map_err(|e| runtime(format!("--cache-dir: {e}")))?,
+    );
+    let entries = cache.entry_count();
+    let server =
+        Server::start(&config, cache).map_err(|e| runtime(format!("starting server: {e}")))?;
+    eprintln!(
+        "prbp-serve listening on http://{} (cache {cache_dir}: {entries} entries, \
+         default deadline {deadline_ms} ms, {} workers)",
+        server.local_addr(),
+        config.workers
+    );
+    // Serve until killed; the acceptor and pool run on their own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_warm(args: &Args) -> Result<(), CliError> {
+    args.check_known(&["cache-dir", "dir", "r", "exact-budget", "out"])?;
+    let cache_dir = args.require("cache-dir")?.to_string();
+    let dir = args.require("dir")?.to_string();
+    let r = args.require_usize("r")?;
+    let compose = ComposeConfig {
+        exact_budget: args.usize_or("exact-budget", ComposeConfig::default().exact_budget)?,
+        ..ComposeConfig::default()
+    };
+    let cache =
+        ScheduleCache::open(&cache_dir).map_err(|e| runtime(format!("--cache-dir: {e}")))?;
+    let summary = warm_from_dir(&cache, std::path::Path::new(&dir), r, &compose)
+        .map_err(|e| runtime(format!("warming from {dir}: {e}")))?;
+    eprintln!(
+        "warmed {cache_dir} from {dir} at r={r}: {} files, {} inserted, {} skipped \
+         (already cached at <= cost), {} failed",
+        summary.files, summary.inserted, summary.skipped, summary.failed
+    );
+    let doc = format!(
+        "{{\"status\":\"ok\",\"r\":{r},\"files\":{},\"inserted\":{},\"skipped\":{},\"failed\":{}}}\n",
+        summary.files, summary.inserted, summary.skipped, summary.failed
+    );
+    write_output(args.get("out"), &doc)
+}
+
+fn cmd_submit(args: &Args) -> Result<(), CliError> {
+    args.check_known(&["addr", "input", "r", "deadline-ms", "format", "out"])?;
+    let addr = args.require("addr")?.to_string();
+    let r = args.require_usize("r")?;
+    let path = args.require("input")?.to_string();
+    let text = read_input(&path)?;
+    let mut target = format!("/v1/schedule?r={r}");
+    if let Some(deadline_ms) = args.parse_usize("deadline-ms")? {
+        target.push_str(&format!("&deadline_ms={deadline_ms}"));
+    }
+    if let Some(f) = args.get("format") {
+        let f = f.parse::<Format>().map_err(usage)?;
+        target.push_str(&format!("&format={}", f.name()));
+    }
+    // Generous retry window: the server may still be binding its listener
+    // when a script starts both back-to-back.
+    let (status, body) = client_request_with_retries(
+        &addr,
+        "POST",
+        &target,
+        text.as_bytes(),
+        Duration::from_secs(600),
+        20,
+        Duration::from_millis(250),
+    )
+    .map_err(|e| runtime(format!("request to {addr} failed: {e}")))?;
+    let mut body = String::from_utf8_lossy(&body).into_owned();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    write_output(args.get("out"), &body)?;
+    match status {
+        200 => Ok(()),
+        504 => Err(CliError::DeadlineNoIncumbent(format!(
+            "server at {addr} reported deadline-no-incumbent for {path} at r = {r}"
+        ))),
+        other => Err(runtime(format!(
+            "server at {addr} answered {other}: {}",
+            body.trim_end()
+        ))),
+    }
 }

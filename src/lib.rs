@@ -20,6 +20,12 @@
 //!   JSON node/edge document) with line-precise parse errors, so external
 //!   workloads can be scheduled and certified; driven from the command line
 //!   by the `prbp` binary (`prbp gen | schedule | bound | convert`).
+//! * [`serve`] — certified scheduling as a service: an HTTP/JSON server
+//!   over a content-addressed schedule cache (iso-invariant canonical DAG
+//!   hash → certified schedule, re-validated through the simulator on every
+//!   hit), driven by `prbp serve | warm | submit`. The operating notes live
+//!   in [`ARCHITECTURE.md`](crate::architecture) and
+//!   [`docs/API.md`](crate::http_api).
 //!
 //! ## Quickstart
 //!
@@ -99,3 +105,14 @@ pub use pebble_game as game;
 pub use pebble_hardness as hardness;
 pub use pebble_io as io;
 pub use pebble_sched as sched;
+pub use pebble_serve as serve;
+
+// The operational documentation is compiled into the docs verbatim — and,
+// crucially, its code blocks become doc-tests, so the walkthroughs in
+// ARCHITECTURE.md and docs/API.md can never silently rot.
+
+#[doc = include_str!("../ARCHITECTURE.md")]
+pub mod architecture {}
+
+#[doc = include_str!("../docs/API.md")]
+pub mod http_api {}
