@@ -364,6 +364,10 @@ pub(crate) fn solve_par<D: Domain>(
                 let mut heap: BinaryHeap<Reverse<(usize, usize, KeyOrd)>> = BinaryHeap::new();
                 let mut scratch = vec![0u64; words_len];
                 let mut idle_spins = 0u32;
+                // Per-worker effort, folded into the sharded observability
+                // counters once at loop exit (never inside the hot loop).
+                let mut my_expanded = 0usize;
+                let mut my_generated = 0usize;
                 loop {
                     if shared.stop.load(Ordering::Relaxed) != 0 {
                         break;
@@ -405,6 +409,7 @@ pub(crate) fn solve_par<D: Domain>(
                         continue;
                     }
                     shared.expanded.fetch_add(1, Ordering::Relaxed);
+                    my_expanded += 1;
                     let mut local_gen = 0usize;
                     domain.expand(&key, &mut scratch, &mut |words, mv, cost| {
                         local_gen += 1;
@@ -462,6 +467,7 @@ pub(crate) fn solve_par<D: Domain>(
                         true
                     });
                     shared.generated.fetch_add(local_gen, Ordering::Relaxed);
+                    my_generated += local_gen;
                     if let Some(budget) = engine.node_budget {
                         if shared.table.distinct() > budget {
                             shared.request_stop(STOP_BUDGET);
@@ -469,6 +475,7 @@ pub(crate) fn solve_par<D: Domain>(
                     }
                     shared.pending.fetch_sub(1, Ordering::SeqCst);
                 }
+                super::obs::record_worker(w, my_expanded, my_generated);
             });
         }
     });

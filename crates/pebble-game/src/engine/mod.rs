@@ -44,6 +44,7 @@
 mod astar;
 mod beam;
 mod domain;
+mod obs;
 mod table;
 
 pub(crate) use domain::{prbp_start_words, rbp_start_words, Domain, PrbpDomain, RbpDomain};
@@ -218,6 +219,29 @@ struct ProgressInner<M> {
     cost: AtomicUsize,
     bound: AtomicUsize,
     best: Mutex<Option<(usize, Vec<M>)>>,
+    /// Every accepted incumbent and bound improvement, in publication order.
+    history: Mutex<Vec<ProgressRecord>>,
+}
+
+/// One entry of a [`Progress`] channel's convergence timeline: an accepted
+/// incumbent or a raised bound, stamped with the `pebble-obs` monotonic
+/// trace clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressRecord {
+    /// A new best validated schedule was published.
+    Incumbent {
+        /// Microseconds since the process trace epoch.
+        t_us: u64,
+        /// The validated incumbent cost.
+        cost: usize,
+    },
+    /// The admissible lower bound rose.
+    Bound {
+        /// Microseconds since the process trace epoch.
+        t_us: u64,
+        /// The new bound.
+        value: usize,
+    },
 }
 
 impl<M> Clone for Progress<M> {
@@ -242,6 +266,7 @@ impl<M> Progress<M> {
                 cost: AtomicUsize::new(usize::MAX),
                 bound: AtomicUsize::new(0),
                 best: Mutex::new(None),
+                history: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -267,12 +292,40 @@ impl<M> Progress<M> {
         if best.as_ref().map_or(true, |&(c, _)| cost < c) {
             *best = Some((cost, moves));
             self.inner.cost.store(cost, Ordering::Release);
+            let t_us = pebble_obs::trace::now_us();
+            self.inner
+                .history
+                .lock()
+                .expect("progress poisoned")
+                .push(ProgressRecord::Incumbent { t_us, cost });
+            pebble_obs::trace::emit(pebble_obs::trace::TraceEvent::Incumbent { cost: cost as u64 });
         }
     }
 
     /// Raise the published admissible bound.
     pub(crate) fn raise_bound(&self, bound: usize) {
-        self.inner.bound.fetch_max(bound, Ordering::AcqRel);
+        let prev = self.inner.bound.fetch_max(bound, Ordering::AcqRel);
+        if bound > prev {
+            let t_us = pebble_obs::trace::now_us();
+            self.inner
+                .history
+                .lock()
+                .expect("progress poisoned")
+                .push(ProgressRecord::Bound { t_us, value: bound });
+            pebble_obs::trace::emit(pebble_obs::trace::TraceEvent::Bound {
+                value: bound as u64,
+            });
+        }
+    }
+
+    /// The full convergence timeline published so far: every accepted
+    /// incumbent and every bound improvement, in order.
+    pub fn history(&self) -> Vec<ProgressRecord> {
+        self.inner
+            .history
+            .lock()
+            .expect("progress poisoned")
+            .clone()
     }
 }
 
@@ -328,6 +381,10 @@ pub fn solve_prbp(
     let domain = PrbpDomain::new(dag, config);
     if let Some(width) = engine.width {
         let raw = beam::solve_beam(dag, config, &domain, engine, width, heuristic, progress)?;
+        // The beam aggregates its statistics centrally, so it reports as
+        // worker 0 regardless of how many threads scored proposals.
+        obs::record_worker(0, raw.stats.expanded, raw.stats.generated);
+        obs::record_solve(raw.stats.distinct, raw.stop);
         return Ok(finish(&domain, raw));
     }
     let raw = run_astar(
@@ -387,7 +444,7 @@ fn run_astar<D: Domain>(
         HeuristicSpec::Single(_) => 1,
         HeuristicSpec::PerWorker(_) => engine.effective_workers(),
     };
-    if workers <= 1 {
+    let raw = if workers <= 1 {
         let owned;
         let h: &dyn LowerBound = match heuristic {
             HeuristicSpec::Single(h) => h,
@@ -396,14 +453,20 @@ fn run_astar<D: Domain>(
                 owned.as_ref()
             }
         };
-        astar::solve_seq(domain, engine, deadline_at, h, seed, progress)
+        let raw = astar::solve_seq(domain, engine, deadline_at, h, seed, progress)?;
+        obs::record_worker(0, raw.stats.expanded, raw.stats.generated);
+        raw
     } else {
         let make = match heuristic {
             HeuristicSpec::PerWorker(make) => make,
             HeuristicSpec::Single(_) => unreachable!("single heuristic forces workers = 1"),
         };
-        astar::solve_par(domain, engine, deadline_at, workers, make, seed, progress)
-    }
+        // The parallel workers fold their own per-worker counts into the
+        // sharded counters at loop exit.
+        astar::solve_par(domain, engine, deadline_at, workers, make, seed, progress)?
+    };
+    obs::record_solve(raw.stats.distinct, raw.stop);
+    Ok(raw)
 }
 
 #[cfg(test)]
@@ -435,6 +498,16 @@ mod tests {
         p.raise_bound(3);
         p.raise_bound(2);
         assert_eq!(p.bound(), 3);
+        // The history records exactly the accepted improvements, in order.
+        let costs: Vec<(bool, usize)> = p
+            .history()
+            .iter()
+            .map(|r| match *r {
+                ProgressRecord::Incumbent { cost, .. } => (true, cost),
+                ProgressRecord::Bound { value, .. } => (false, value),
+            })
+            .collect();
+        assert_eq!(costs, vec![(true, 10), (true, 7), (false, 3)]);
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Offline analysis of JSONL trace streams: parse the events written by
+//! [`crate::trace::JsonlSink`] back into [`Stamped`] values and summarize
+//! them into a phase-timing breakdown plus the anytime convergence curve
+//! (`prbp trace <file.jsonl>` prints the [`std::fmt::Display`] form).
+//!
+//! The parser is deliberately minimal: it accepts exactly the flat,
+//! string/integer-valued objects our own writer produces, which keeps this
+//! crate dependency-free. Unknown `"type"` values are skipped (forward
+//! compatibility); malformed lines are hard errors with a line number.
+
+use crate::trace::{Stamped, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Split the body of a flat JSON object into raw `key -> value-token` pairs.
+/// Values are either quoted strings (returned unescaped) or bare tokens
+/// (numbers). Nested objects/arrays are rejected — the trace writer never
+/// produces them.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, String>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut fields = BTreeMap::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Skip separators/whitespace before a key.
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(fields);
+        }
+        let key = parse_string(&mut chars)?;
+        while matches!(chars.peek(), Some(' ')) {
+            chars.next();
+        }
+        if chars.next() != Some(':') {
+            return Err(format!("expected `:` after key `{key}`"));
+        }
+        while matches!(chars.peek(), Some(' ')) {
+            chars.next();
+        }
+        let value = match chars.peek() {
+            Some('"') => parse_string(&mut chars)?,
+            Some('{') | Some('[') => return Err("nested values are not supported".to_string()),
+            _ => {
+                let mut tok = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' {
+                        break;
+                    }
+                    tok.push(c);
+                    chars.next();
+                }
+                let tok = tok.trim().to_string();
+                if tok.is_empty() {
+                    return Err(format!("empty value for key `{key}`"));
+                }
+                tok
+            }
+        };
+        fields.insert(key, value);
+    }
+}
+
+/// Consume one quoted JSON string (with escapes) from `chars`.
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected string".to_string());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                }
+                other => return Err(format!("bad escape `\\{other:?}`")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+fn field_u64(fields: &BTreeMap<String, String>, key: &str) -> Result<u64, String> {
+    fields
+        .get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        .parse::<u64>()
+        .map_err(|_| format!("field `{key}` is not a non-negative integer"))
+}
+
+fn field_str(fields: &BTreeMap<String, String>, key: &str) -> Result<String, String> {
+    fields
+        .get(key)
+        .cloned()
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Parse one JSONL line into a [`Stamped`] event. `Ok(None)` means the line
+/// carried an unknown event type (skipped for forward compatibility).
+fn parse_line(line: &str) -> Result<Option<Stamped>, String> {
+    let fields = parse_flat_object(line)?;
+    let t_us = field_u64(&fields, "t_us")?;
+    let ty = field_str(&fields, "type")?;
+    let event = match ty.as_str() {
+        "span_start" => TraceEvent::SpanStart {
+            name: field_str(&fields, "name")?,
+        },
+        "span_end" => TraceEvent::SpanEnd {
+            name: field_str(&fields, "name")?,
+            dur_us: field_u64(&fields, "dur_us")?,
+        },
+        "incumbent" => TraceEvent::Incumbent {
+            cost: field_u64(&fields, "cost")?,
+        },
+        "bound" => TraceEvent::Bound {
+            value: field_u64(&fields, "value")?,
+        },
+        "cache_lookup" => TraceEvent::CacheLookup {
+            outcome: field_str(&fields, "outcome")?,
+        },
+        "request" => TraceEvent::Request {
+            route: field_str(&fields, "route")?,
+            status: field_u64(&fields, "status")? as u16,
+            dur_us: field_u64(&fields, "dur_us")?,
+        },
+        _ => return Ok(None),
+    };
+    Ok(Some(Stamped { t_us, event }))
+}
+
+/// Parse a whole JSONL document. Blank lines are skipped; malformed lines
+/// are errors naming the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Stamped>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(Some(e)) => events.push(e),
+            Ok(None) => {}
+            Err(err) => return Err(format!("line {}: {err}", i + 1)),
+        }
+    }
+    Ok(events)
+}
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total microseconds across those spans.
+    pub total_us: u64,
+}
+
+/// One step of the anytime convergence curve: the state of the
+/// incumbent/bound pair after an event at `t_us`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceRow {
+    /// Event timestamp (microseconds since trace epoch).
+    pub t_us: u64,
+    /// Best incumbent cost known at this time, if any.
+    pub cost: Option<u64>,
+    /// Best lower bound known at this time, if any.
+    pub bound: Option<u64>,
+}
+
+impl ConvergenceRow {
+    /// `cost / bound` when both sides are known and the bound is positive.
+    pub fn gap(&self) -> Option<f64> {
+        match (self.cost, self.bound) {
+            (Some(c), Some(b)) if b > 0 => Some(c as f64 / b as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Everything `prbp trace` reports about a JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total events parsed.
+    pub events: usize,
+    /// Per-span-name timing rows, sorted by descending total time.
+    pub phases: Vec<PhaseRow>,
+    /// Incumbent/bound updates in event order.
+    pub convergence: Vec<ConvergenceRow>,
+    /// Timestamp of the first incumbent, if the search found one.
+    pub time_to_first_incumbent_us: Option<u64>,
+    /// Timestamp of the last bound improvement, if any bound was reported.
+    pub time_to_final_bound_us: Option<u64>,
+}
+
+/// Fold a parsed event stream into a [`TraceSummary`].
+pub fn summarize(events: &[Stamped]) -> TraceSummary {
+    let mut phases: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut convergence = Vec::new();
+    let mut cost: Option<u64> = None;
+    let mut bound: Option<u64> = None;
+    let mut first_incumbent = None;
+    let mut final_bound = None;
+    for e in events {
+        match &e.event {
+            TraceEvent::SpanEnd { name, dur_us } => {
+                let entry = phases.entry(name.clone()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += dur_us;
+            }
+            TraceEvent::Incumbent { cost: c } => {
+                if cost.is_none() {
+                    first_incumbent = Some(e.t_us);
+                }
+                cost = Some(cost.map_or(*c, |prev: u64| prev.min(*c)));
+                convergence.push(ConvergenceRow {
+                    t_us: e.t_us,
+                    cost,
+                    bound,
+                });
+            }
+            TraceEvent::Bound { value } => {
+                bound = Some(bound.map_or(*value, |prev: u64| prev.max(*value)));
+                final_bound = Some(e.t_us);
+                convergence.push(ConvergenceRow {
+                    t_us: e.t_us,
+                    cost,
+                    bound,
+                });
+            }
+            _ => {}
+        }
+    }
+    let mut phases: Vec<PhaseRow> = phases
+        .into_iter()
+        .map(|(name, (count, total_us))| PhaseRow {
+            name,
+            count,
+            total_us,
+        })
+        .collect();
+    phases.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    TraceSummary {
+        events: events.len(),
+        phases,
+        convergence,
+        time_to_first_incumbent_us: first_incumbent,
+        time_to_final_bound_us: final_bound,
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.3}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events: {}", self.events)?;
+        if !self.phases.is_empty() {
+            writeln!(f)?;
+            writeln!(f, "phase timings:")?;
+            writeln!(f, "  {:<28} {:>7} {:>12}", "phase", "count", "total")?;
+            for row in &self.phases {
+                writeln!(
+                    f,
+                    "  {:<28} {:>7} {:>12}",
+                    row.name,
+                    row.count,
+                    fmt_us(row.total_us)
+                )?;
+            }
+        }
+        if !self.convergence.is_empty() {
+            writeln!(f)?;
+            writeln!(f, "anytime convergence:")?;
+            writeln!(
+                f,
+                "  {:>12} {:>12} {:>12} {:>8}",
+                "t", "incumbent", "bound", "gap"
+            )?;
+            for row in &self.convergence {
+                let cost = row.cost.map_or("-".to_string(), |c| c.to_string());
+                let bound = row.bound.map_or("-".to_string(), |b| b.to_string());
+                let gap = row.gap().map_or("-".to_string(), |g| format!("{g:.3}"));
+                writeln!(
+                    f,
+                    "  {:>12} {:>12} {:>12} {:>8}",
+                    fmt_us(row.t_us),
+                    cost,
+                    bound,
+                    gap
+                )?;
+            }
+            writeln!(f)?;
+            match self.time_to_first_incumbent_us {
+                Some(t) => writeln!(f, "time to first incumbent: {}", fmt_us(t))?,
+                None => writeln!(f, "time to first incumbent: (none found)")?,
+            }
+            match self.time_to_final_bound_us {
+                Some(t) => writeln!(f, "time to final bound:     {}", fmt_us(t))?,
+                None => writeln!(f, "time to final bound:     (no bound reported)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_the_writer_format() {
+        let events = vec![
+            Stamped {
+                t_us: 10,
+                event: TraceEvent::SpanStart {
+                    name: "anytime:seed".to_string(),
+                },
+            },
+            Stamped {
+                t_us: 500,
+                event: TraceEvent::Incumbent { cost: 1200 },
+            },
+            Stamped {
+                t_us: 700,
+                event: TraceEvent::Bound { value: 512 },
+            },
+            Stamped {
+                t_us: 900,
+                event: TraceEvent::SpanEnd {
+                    name: "anytime:seed".to_string(),
+                    dur_us: 890,
+                },
+            },
+            Stamped {
+                t_us: 1500,
+                event: TraceEvent::Incumbent { cost: 1024 },
+            },
+            Stamped {
+                t_us: 2000,
+                event: TraceEvent::CacheLookup {
+                    outcome: "hit".to_string(),
+                },
+            },
+            Stamped {
+                t_us: 2100,
+                event: TraceEvent::Request {
+                    route: "schedule".to_string(),
+                    status: 200,
+                    dur_us: 2000,
+                },
+            },
+        ];
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let parsed = parse_jsonl(&text).expect("parse own output");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn unknown_event_types_are_skipped_and_bad_lines_are_named() {
+        let text = "{\"t_us\":1,\"type\":\"future_thing\",\"x\":2}\n\n{\"t_us\":2,\"type\":\"bound\",\"value\":3}\n";
+        let parsed = parse_jsonl(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let err = parse_jsonl("{\"t_us\":oops}").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn summary_tracks_convergence_and_phase_totals() {
+        let text = "\
+{\"t_us\":100,\"type\":\"incumbent\",\"cost\":2048}
+{\"t_us\":200,\"type\":\"bound\",\"value\":512}
+{\"t_us\":300,\"type\":\"incumbent\",\"cost\":1024}
+{\"t_us\":400,\"type\":\"bound\",\"value\":1024}
+{\"t_us\":500,\"type\":\"span_end\",\"name\":\"exact\",\"dur_us\":450}
+{\"t_us\":510,\"type\":\"span_end\",\"name\":\"seed\",\"dur_us\":90}
+{\"t_us\":520,\"type\":\"span_end\",\"name\":\"seed\",\"dur_us\":10}
+";
+        let s = summarize(&parse_jsonl(text).unwrap());
+        assert_eq!(s.time_to_first_incumbent_us, Some(100));
+        assert_eq!(s.time_to_final_bound_us, Some(400));
+        assert_eq!(s.convergence.len(), 4);
+        let last = s.convergence.last().unwrap();
+        assert_eq!((last.cost, last.bound), (Some(1024), Some(1024)));
+        assert_eq!(last.gap(), Some(1.0));
+        // Phases sorted by descending total time.
+        assert_eq!(s.phases[0].name, "exact");
+        assert_eq!(
+            s.phases[1],
+            PhaseRow {
+                name: "seed".to_string(),
+                count: 2,
+                total_us: 100,
+            }
+        );
+        // Display renders without panicking and mentions the key numbers.
+        let text = s.to_string();
+        assert!(text.contains("time to first incumbent: 100us"), "{text}");
+        assert!(text.contains("1.000"), "{text}");
+    }
+}

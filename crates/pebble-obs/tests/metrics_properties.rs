@@ -1,0 +1,81 @@
+//! Property tests for the metrics substrate: the invariants the engine's
+//! instrumentation leans on. A sharded counter's snapshot total must equal
+//! the sum of its per-worker shards regardless of which workers wrote what,
+//! and a histogram's rendered `_count` must equal the number of
+//! observations with `_sum` equal to their sum.
+
+use pebble_obs::metrics::{Registry, SHARDS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Snapshot total == sum of per-worker shards, for any write pattern
+    /// (including worker indices beyond SHARDS, which wrap).
+    #[test]
+    fn sharded_total_is_sum_of_shards(
+        writes in proptest::collection::vec((0usize..64, 0u64..1_000_000), 0..200)
+    ) {
+        let r = Registry::new();
+        let c = r.sharded_counter("expanded_total", "", &[]);
+        let mut expected_shards = [0u64; SHARDS];
+        for &(worker, n) in &writes {
+            c.add(worker, n);
+            expected_shards[worker % SHARDS] += n;
+        }
+        for (i, &want) in expected_shards.iter().enumerate() {
+            prop_assert_eq!(c.shard(i), want);
+        }
+        let expected_total: u64 = expected_shards.iter().sum();
+        prop_assert_eq!(c.total(), expected_total);
+        // And the rendered exposition carries the folded total.
+        let text = r.render_prometheus();
+        prop_assert!(
+            text.contains(&format!("expanded_total {expected_total}")),
+            "rendered: {}", text
+        );
+    }
+
+    /// Histogram `_count`/`_sum` always match the raw observations, and the
+    /// `+Inf` bucket equals `_count`.
+    #[test]
+    fn histogram_count_and_sum_match_observations(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..100)
+    ) {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "", &[]);
+        for &s in &samples {
+            h.observe(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let expected_sum: u64 = samples.iter().sum();
+        prop_assert_eq!(h.sum(), expected_sum);
+        let text = r.render_prometheus();
+        prop_assert!(
+            text.contains(&format!("lat_us_bucket{{le=\"+Inf\"}} {}", samples.len())),
+            "rendered: {}", text
+        );
+        prop_assert!(text.contains(&format!("lat_us_sum {expected_sum}")), "rendered: {}", text);
+        prop_assert!(text.contains(&format!("lat_us_count {}", samples.len())), "rendered: {}", text);
+    }
+}
+
+/// Concurrent writers on distinct shards never lose increments: the fold
+/// after join sees every write.
+#[test]
+fn concurrent_shard_writes_all_land() {
+    let r = Registry::new();
+    let c = r.sharded_counter("par_total", "", &[]);
+    let per_worker = 10_000u64;
+    std::thread::scope(|scope| {
+        for w in 0..8 {
+            let c = c.clone();
+            scope.spawn(move || {
+                for _ in 0..per_worker {
+                    c.add(w, 1);
+                }
+            });
+        }
+    });
+    assert_eq!(c.total(), 8 * per_worker);
+}

@@ -1,0 +1,66 @@
+//! Pins the Prometheus text exposition format byte-for-byte against a golden
+//! file: `# HELP`/`# TYPE` headers, sorted families and label sets, label
+//! escaping, and histogram `_bucket`/`_sum`/`_count` triplets with
+//! cumulative power-of-two `le` edges. If this test fails after an
+//! intentional format change, update `tests/golden/metrics.prom` and the
+//! docs/API.md example together.
+
+use pebble_obs::metrics::Registry;
+
+#[test]
+fn exposition_format_matches_golden_file() {
+    let r = Registry::new();
+
+    // A labelled counter family with two series, registered out of order to
+    // prove series sort by label set.
+    let hits = r.counter(
+        "cache_outcomes_total",
+        "Cache lookups by outcome",
+        &[("outcome", "miss_absent")],
+    );
+    hits.add(3);
+    r.counter(
+        "cache_outcomes_total",
+        "Cache lookups by outcome",
+        &[("outcome", "hit")],
+    )
+    .add(11);
+
+    // A gauge that has gone negative.
+    let depth = r.gauge("pool_queue_depth", "Jobs waiting in the pool", &[]);
+    depth.set(-2);
+
+    // A sharded counter renders as a plain counter with the folded total.
+    let expanded = r.sharded_counter("engine_expanded_total", "States expanded", &[]);
+    expanded.add(0, 40);
+    expanded.add(3, 2);
+
+    // A histogram: observations at 1, 3, 3, 900 land in buckets le=1 (one)
+    // le=4 (two) and le=1024 (one); buckets in between render as cumulative
+    // repeats and everything above the highest non-empty bucket collapses
+    // into +Inf.
+    let lat = r.histogram(
+        "request_us",
+        "Request latency, microseconds",
+        &[("route", "schedule")],
+    );
+    for v in [1, 3, 3, 900] {
+        lat.observe(v);
+    }
+
+    // Label-value escaping: backslash, quote, newline.
+    r.counter(
+        "weird_labels_total",
+        "Label escaping fixture",
+        &[("path", "a\\b\"c\nd")],
+    )
+    .inc();
+
+    let got = r.render_prometheus();
+    let want = include_str!("golden/metrics.prom");
+    assert_eq!(
+        got, want,
+        "Prometheus exposition drifted from tests/golden/metrics.prom;\n\
+         left = rendered, right = golden"
+    );
+}

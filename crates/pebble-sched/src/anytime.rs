@@ -147,6 +147,12 @@ pub fn anytime_prbp_result(
     let started = Instant::now();
     let game = PrbpConfig::new(r);
 
+    // When a JSONL trace is being recorded but the caller brought no
+    // progress channel of its own, attach a local one so the convergence
+    // timeline (incumbent/bound events) still lands in the trace.
+    let local_progress = (progress.is_none() && pebble_obs::trace::enabled()).then(Progress::new);
+    let progress = progress.or(local_progress.as_ref());
+
     // Phase 1: seed. Half the budget caps the adaptive beam; an early stop
     // still returns a full schedule (the engine greedy-completes the best
     // partial) unless `fail_fast` asked for a genuine incumbent or nothing.
@@ -154,6 +160,7 @@ pub fn anytime_prbp_result(
     // structured instances, so the exact phase starts from the better of
     // the two — the engine validates and (if a progress channel is
     // attached) publishes whichever seed it receives.
+    let seed_span = pebble_obs::trace::span("anytime:seed");
     let beam_engine = EngineConfig {
         deadline: Some(config.deadline / 2),
         width: Some(config.seed_width.max(1)),
@@ -182,6 +189,7 @@ pub fn anytime_prbp_result(
         Some((trace, cost)) if cost < beam.cost => (trace, cost),
         _ => (beam.trace, beam.cost),
     };
+    drop(seed_span);
     let seed = AnytimeOutcome {
         cost: seed_cost,
         proven_optimal: seed_cost == beam.bound,
@@ -201,6 +209,7 @@ pub fn anytime_prbp_result(
     if remaining.is_zero() {
         return Ok(seed);
     }
+    let _improve_span = pebble_obs::trace::span("anytime:improve");
     let make = || Box::new(LoadCountHeuristic) as Box<dyn LowerBound>;
     let exact_engine = EngineConfig {
         deadline: Some(remaining),

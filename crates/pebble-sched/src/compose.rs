@@ -128,6 +128,7 @@ pub fn compose_prbp(dag: &Dag, r: usize, config: &ComposeConfig) -> Option<Compo
     // capping them at ~3r/4 leaves room for the streaming inputs.
     let max_sinks = (3 * r / 4).max(1);
 
+    let decompose_span = pebble_obs::trace::span("compose:decompose");
     let mut candidates: Vec<Decomposition> =
         vec![decompose(dag, Strategy::Whole).expect("whole always applies")];
     let wcc = decompose(dag, Strategy::Wcc).expect("wcc always applies");
@@ -152,6 +153,8 @@ pub fn compose_prbp(dag: &Dag, r: usize, config: &ComposeConfig) -> Option<Compo
         }
     }
 
+    drop(decompose_span);
+
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -160,6 +163,7 @@ pub fn compose_prbp(dag: &Dag, r: usize, config: &ComposeConfig) -> Option<Compo
         config.threads
     };
 
+    let _schedule_span = pebble_obs::trace::span("compose:schedule");
     let mut best: Option<(usize, PrbpTrace, Strategy, usize, usize)> = None;
     let mut composed_bound: Option<usize> = None;
     for decomposition in &candidates {
@@ -268,9 +272,12 @@ fn schedule_decomposition(
         .iter()
         .map(|c| pebble_dag::decompose::extract_component(dag, c))
         .collect();
+    let components_span = pebble_obs::trace::span("compose:components");
     let results = par_map(extracted.iter().collect(), threads, |sub| {
+        let _span = pebble_obs::trace::span("compose:component");
         schedule_component(sub, r, config)
     });
+    drop(components_span);
     let mut traces = Vec::with_capacity(results.len());
     let mut exact = Vec::with_capacity(results.len());
     for result in results {
@@ -278,7 +285,9 @@ fn schedule_decomposition(
         traces.push(trace);
         exact.push(solved);
     }
+    let stitch_span = pebble_obs::trace::span("compose:stitch");
     let (trace, cost) = stitch(dag, r, &extracted, &traces);
+    drop(stitch_span);
     Some(ScheduledDecomposition {
         trace,
         cost,

@@ -234,6 +234,19 @@ impl std::str::FromStr for Scheduler {
 }
 
 impl Scheduler {
+    /// Stable phase label for trace spans and the `phase_duration_us`
+    /// metric. Static per *family* (not per parameterisation) so the metric
+    /// label set stays bounded.
+    fn phase_name(self) -> &'static str {
+        match self {
+            Scheduler::Baseline => "portfolio:baseline",
+            Scheduler::Greedy { .. } => "portfolio:greedy",
+            Scheduler::Beam { .. } => "portfolio:beam",
+            Scheduler::Local { .. } => "portfolio:local",
+            Scheduler::Compose { .. } => "portfolio:compose",
+        }
+    }
+
     /// Run this scheduler in PRBP. `None` when the configuration cannot
     /// schedule the instance (`r` too small).
     pub fn run_prbp(self, dag: &Dag, r: usize) -> Option<PrbpTrace> {
@@ -317,6 +330,7 @@ pub fn best_prbp(
 ) -> Option<(Scheduler, PrbpTrace, usize)> {
     let mut best: Option<(Scheduler, PrbpTrace, usize)> = None;
     for &s in suite {
+        let _span = pebble_obs::trace::span(s.phase_name());
         let Some(trace) = s.run_prbp(dag, r) else {
             continue;
         };

@@ -33,6 +33,7 @@ pub struct ScheduleCache {
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
+    revalidation_failures: AtomicU64,
 }
 
 /// A validated cache hit: the certified report plus the replayable trace in
@@ -56,6 +57,23 @@ pub struct CacheStats {
     pub insertions: u64,
     /// `.sched` files currently on disk.
     pub entries: u64,
+    /// Misses where an entry existed on disk but failed the shape check or
+    /// simulator re-validation (a subset of `misses`).
+    pub revalidation_failures: u64,
+}
+
+/// How a cache lookup resolved, distinguishing the two kinds of miss:
+/// nothing stored versus a stored entry that failed re-validation (the
+/// latter is the "cold-solve fallback" the serving layer counts).
+#[derive(Debug)]
+pub enum LookupOutcome {
+    /// A stored entry re-validated on the request DAG.
+    Hit(Box<CacheHit>),
+    /// No entry exists for this `(canonical key, r)`.
+    MissAbsent,
+    /// An entry exists but failed the shape check, checksum, remap, or
+    /// simulator re-validation.
+    MissInvalid,
 }
 
 impl ScheduleCache {
@@ -69,6 +87,7 @@ impl ScheduleCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            revalidation_failures: AtomicU64::new(0),
         })
     }
 
@@ -84,6 +103,7 @@ impl ScheduleCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             entries: self.entry_count(),
+            revalidation_failures: self.revalidation_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -109,12 +129,44 @@ impl ScheduleCache {
     /// its moves — remapped into the request numbering — **replay through
     /// the simulator at exactly the stored cost**. Anything less is a miss.
     pub fn lookup(&self, dag: &Dag, form: &CanonicalForm, r: usize) -> Option<CacheHit> {
-        let hit = self.lookup_inner(dag, form, r);
-        match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        match self.lookup_outcome(dag, form, r) {
+            LookupOutcome::Hit(hit) => Some(*hit),
+            LookupOutcome::MissAbsent | LookupOutcome::MissInvalid => None,
+        }
+    }
+
+    /// [`ScheduleCache::lookup`] with the miss kind preserved. Updates the
+    /// per-cache counters, the process-global cache metrics, and (when a
+    /// trace sink is installed) emits a `cache_lookup` event.
+    pub fn lookup_outcome(&self, dag: &Dag, form: &CanonicalForm, r: usize) -> LookupOutcome {
+        // Existence is sampled before the read so a racing insert cannot
+        // turn a plain absent-miss into a spurious "revalidation failure".
+        let existed = self.entry_path(form, r).exists();
+        let m = crate::obs::metrics();
+        let (outcome, label) = match self.lookup_inner(dag, form, r) {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                m.cache_hits.inc();
+                (LookupOutcome::Hit(Box::new(hit)), "hit")
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                m.cache_misses.inc();
+                if existed {
+                    self.revalidation_failures.fetch_add(1, Ordering::Relaxed);
+                    m.cache_revalidation_failures.inc();
+                    (LookupOutcome::MissInvalid, "miss_invalid")
+                } else {
+                    (LookupOutcome::MissAbsent, "miss_absent")
+                }
+            }
         };
-        hit
+        if pebble_obs::trace::enabled() {
+            pebble_obs::trace::emit(pebble_obs::trace::TraceEvent::CacheLookup {
+                outcome: label.to_string(),
+            });
+        }
+        outcome
     }
 
     fn lookup_inner(&self, dag: &Dag, form: &CanonicalForm, r: usize) -> Option<CacheHit> {
@@ -222,6 +274,7 @@ impl ScheduleCache {
         store::write_file(&path, &entry)
             .map_err(|e| ServeError::Cache(format!("writing {}: {e}", path.display())))?;
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        crate::obs::metrics().cache_insertions.inc();
         Ok(true)
     }
 }
@@ -410,7 +463,13 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(cache.lookup(&f.dag, &form, 4).is_none());
+        match cache.lookup_outcome(&f.dag, &form, 4) {
+            LookupOutcome::MissInvalid => {}
+            other => panic!("expected MissInvalid, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.revalidation_failures, 1, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

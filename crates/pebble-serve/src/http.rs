@@ -168,7 +168,14 @@ pub fn client_request(
 
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        // The server accepted and closed without answering (e.g. it is
+        // still starting up). Surface this as an I/O error so the retry
+        // wrapper treats it as transient, not as a protocol violation.
+        return Err(HttpError::Io(std::io::Error::from(
+            std::io::ErrorKind::UnexpectedEof,
+        )));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -205,9 +212,35 @@ pub fn client_request(
     Ok((status, body))
 }
 
-/// [`client_request`] with connect retries: tolerates a server that is still
-/// binding its listener (the CI smoke test starts the server and the client
-/// back-to-back).
+/// A deterministic exponential backoff schedule: the delay after attempt
+/// `n` (0-based) is `min(base << n, cap)`. No jitter — retry timing stays
+/// reproducible in tests and scripted runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay after the first failed attempt.
+    pub base: Duration,
+    /// Upper bound on any single delay (the schedule plateaus here).
+    pub cap: Duration,
+}
+
+impl Backoff {
+    /// A backoff doubling from `base` up to `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff { base, cap }
+    }
+
+    /// The delay to sleep after failed attempt `attempt` (0-based).
+    /// Saturates at `cap`; never overflows for any attempt number.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+/// [`client_request`] with retries under an exponential [`Backoff`]:
+/// tolerates a server that is still binding its listener (the CI smoke test
+/// starts the server and the client back-to-back). Only transient
+/// [`HttpError::Io`] failures are retried; protocol errors fail immediately.
 pub fn client_request_with_retries(
     addr: &str,
     method: &str,
@@ -215,7 +248,7 @@ pub fn client_request_with_retries(
     body: &[u8],
     timeout: Duration,
     retries: usize,
-    delay: Duration,
+    backoff: Backoff,
 ) -> Result<(u16, Vec<u8>), HttpError> {
     let mut last = None;
     for attempt in 0..retries.max(1) {
@@ -223,10 +256,83 @@ pub fn client_request_with_retries(
             Ok(ok) => return Ok(ok),
             Err(HttpError::Io(e)) if attempt + 1 < retries.max(1) => {
                 last = Some(HttpError::Io(e));
-                std::thread::sleep(delay);
+                std::thread::sleep(backoff.delay(attempt as u32));
             }
             Err(e) => return Err(e),
         }
     }
     Err(last.unwrap_or_else(|| HttpError::Malformed("no attempts made".into())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn backoff_doubles_then_plateaus_at_the_cap() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_millis(80));
+        let delays: Vec<u64> = (0..6).map(|n| b.delay(n).as_millis() as u64).collect();
+        assert_eq!(delays, [10, 20, 40, 80, 80, 80]);
+        // Huge attempt numbers saturate instead of overflowing the shift.
+        assert_eq!(b.delay(u32::MAX), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn retries_until_the_listener_finally_answers() {
+        // A fake server that accepts-and-drops the first two connections
+        // (the client sees an I/O error) and answers the third.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for accepted in 1..=3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                if accepted < 3 {
+                    drop(stream); // close without answering: transient failure
+                    continue;
+                }
+                let _ = read_request(&mut stream, 1 << 20).unwrap();
+                write_response(&mut stream, 200, "OK", "application/json", b"{}").unwrap();
+            }
+        });
+        let (status, body) = client_request_with_retries(
+            &addr,
+            "GET",
+            "/healthz",
+            b"",
+            Duration::from_secs(5),
+            5,
+            Backoff::new(Duration::from_millis(1), Duration::from_millis(4)),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_responses_are_not_retried() {
+        // A server that answers garbage: the client must fail immediately
+        // with `Malformed`, not burn through its retry budget.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_request(&mut stream, 1 << 20).unwrap();
+            use std::io::Write;
+            stream.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+        });
+        let err = client_request_with_retries(
+            &addr,
+            "GET",
+            "/healthz",
+            b"",
+            Duration::from_secs(5),
+            5,
+            Backoff::new(Duration::from_millis(1), Duration::from_millis(1)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+        server.join().unwrap();
+    }
 }

@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod error;
 pub mod http;
+pub(crate) mod obs;
 pub mod pool;
 pub mod server;
 

@@ -1,0 +1,143 @@
+//! The serving layer's hook into the `pebble-obs` registry: per-route
+//! request/error counters, the request-latency and per-stage histograms,
+//! cache-outcome counters and thread-pool health. Everything registers once
+//! per process and is served back by `GET /metrics`.
+
+use pebble_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use std::sync::OnceLock;
+
+/// Route labels, in the order of the per-route counter arrays. `other`
+/// covers unknown paths (404s) and requests that failed before routing.
+pub(crate) const ROUTES: [&str; 5] = ["healthz", "stats", "metrics", "schedule", "other"];
+
+/// Stage labels of the `/v1/schedule` pipeline, in the order of
+/// [`ServeMetrics::stages`].
+pub(crate) const STAGES: [&str; 7] = [
+    "read", "parse", "canon", "cache", "solve", "validate", "write",
+];
+
+/// Index into the `read` stage histogram.
+pub(crate) const STAGE_READ: usize = 0;
+/// Index into the `parse` stage histogram.
+pub(crate) const STAGE_PARSE: usize = 1;
+/// Index into the `canon` stage histogram.
+pub(crate) const STAGE_CANON: usize = 2;
+/// Index into the `cache` stage histogram.
+pub(crate) const STAGE_CACHE: usize = 3;
+/// Index into the `solve` stage histogram.
+pub(crate) const STAGE_SOLVE: usize = 4;
+/// Index into the `validate` stage histogram.
+pub(crate) const STAGE_VALIDATE: usize = 5;
+/// Index into the `write` stage histogram.
+pub(crate) const STAGE_WRITE: usize = 6;
+
+pub(crate) struct ServeMetrics {
+    /// `serve_requests_total{route=...}`, indexed by [`ROUTES`].
+    pub requests: [Counter; 5],
+    /// `serve_errors_total{route=...}` (responses with status >= 400).
+    pub errors: [Counter; 5],
+    /// `serve_request_us`: end-to-end request latency.
+    pub request_us: Histogram,
+    /// `serve_request_stage_us{stage=...}`, indexed by [`STAGES`].
+    pub stages: [Histogram; 7],
+    /// `serve_in_flight`: requests currently being handled.
+    pub in_flight: Gauge,
+    /// `cache_hits_total`: validated cache hits.
+    pub cache_hits: Counter,
+    /// `cache_misses_total`: lookups that found nothing servable.
+    pub cache_misses: Counter,
+    /// `cache_revalidation_failures_total`: entries present on disk that
+    /// failed the shape check or simulator re-validation.
+    pub cache_revalidation_failures: Counter,
+    /// `cache_cold_solve_fallbacks_total`: requests that fell back to a cold
+    /// solve because a present entry failed re-validation.
+    pub cache_cold_solve_fallbacks: Counter,
+    /// `cache_insertions_total`: entries written.
+    pub cache_insertions: Counter,
+    /// `serve_pool_queue_depth`: jobs waiting in the worker pool.
+    pub pool_queue_depth: Gauge,
+    /// `serve_pool_rejections_total`: submits refused by a shut-down pool.
+    pub pool_rejections: Counter,
+}
+
+pub(crate) fn metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        ServeMetrics {
+            requests: ROUTES.map(|route| {
+                r.counter(
+                    "serve_requests_total",
+                    "HTTP requests by route",
+                    &[("route", route)],
+                )
+            }),
+            errors: ROUTES.map(|route| {
+                r.counter(
+                    "serve_errors_total",
+                    "HTTP responses with status >= 400, by route",
+                    &[("route", route)],
+                )
+            }),
+            request_us: r.histogram(
+                "serve_request_us",
+                "End-to-end HTTP request latency, microseconds",
+                &[],
+            ),
+            stages: STAGES.map(|stage| {
+                r.histogram(
+                    "serve_request_stage_us",
+                    "Per-stage request latency, microseconds",
+                    &[("stage", stage)],
+                )
+            }),
+            in_flight: r.gauge("serve_in_flight", "Requests currently being handled", &[]),
+            cache_hits: r.counter(
+                "cache_hits_total",
+                "Schedule-cache lookups served from a validated stored entry",
+                &[],
+            ),
+            cache_misses: r.counter(
+                "cache_misses_total",
+                "Schedule-cache lookups that found nothing servable",
+                &[],
+            ),
+            cache_revalidation_failures: r.counter(
+                "cache_revalidation_failures_total",
+                "Stored entries that failed shape check or simulator re-validation",
+                &[],
+            ),
+            cache_cold_solve_fallbacks: r.counter(
+                "cache_cold_solve_fallbacks_total",
+                "Requests solved cold because a present cache entry failed re-validation",
+                &[],
+            ),
+            cache_insertions: r.counter(
+                "cache_insertions_total",
+                "Schedule-cache entries written",
+                &[],
+            ),
+            pool_queue_depth: r.gauge(
+                "serve_pool_queue_depth",
+                "Jobs waiting in the serve worker pool",
+                &[],
+            ),
+            pool_rejections: r.counter(
+                "serve_pool_rejections_total",
+                "Pool submits refused because the pool was shut down",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Map a request path to its [`ROUTES`] index.
+pub(crate) fn route_index(path: &str) -> usize {
+    match path {
+        "/healthz" => 0,
+        "/v1/stats" => 1,
+        "/metrics" => 2,
+        "/v1/schedule" => 3,
+        _ => 4,
+    }
+}

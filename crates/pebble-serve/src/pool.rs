@@ -40,11 +40,31 @@ impl Pool {
     }
 
     /// Enqueue a job; blocks while the backlog is full. Returns `false` if
-    /// the pool is already shut down.
+    /// the pool is already shut down. The queue depth is tracked in the
+    /// `serve_pool_queue_depth` gauge (incremented on enqueue, decremented
+    /// when a worker dequeues the job) and refused submits count into
+    /// `serve_pool_rejections_total`.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let m = crate::obs::metrics();
         match &self.sender {
-            Some(s) => s.send(Box::new(job)).is_ok(),
-            None => false,
+            Some(s) => {
+                m.pool_queue_depth.add(1);
+                let wrapped: Job = Box::new(move || {
+                    crate::obs::metrics().pool_queue_depth.sub(1);
+                    job()
+                });
+                if s.send(wrapped).is_ok() {
+                    true
+                } else {
+                    m.pool_queue_depth.sub(1);
+                    m.pool_rejections.inc();
+                    false
+                }
+            }
+            None => {
+                m.pool_rejections.inc();
+                false
+            }
         }
     }
 

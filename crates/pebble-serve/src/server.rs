@@ -10,14 +10,20 @@
 //! error; a deadline too small to produce any incumbent is the distinct
 //! `"status":"deadline-no-incumbent"` outcome (HTTP 504), never a panic.
 
-use crate::cache::ScheduleCache;
+use crate::cache::{LookupOutcome, ScheduleCache};
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, HttpError, Request};
+use crate::obs::{
+    self, STAGE_CACHE, STAGE_CANON, STAGE_PARSE, STAGE_READ, STAGE_SOLVE, STAGE_VALIDATE,
+    STAGE_WRITE,
+};
 use crate::pool::Pool;
 use pebble_dag::canon::canonical_form;
 use pebble_dag::Dag;
 use pebble_io::json::escape;
 use pebble_io::Format;
+use pebble_obs::metrics::Registry;
+use pebble_obs::trace::{emit, enabled, TraceEvent};
 use pebble_sched::{
     anytime_prbp_result, certify_prbp_with, AnytimeConfig, AnytimeError, BoundSet, ScheduleReport,
 };
@@ -64,6 +70,17 @@ struct Ctx {
     solver_workers: usize,
     max_body: usize,
     requests: AtomicU64,
+    /// When this server started (for `/v1/stats` uptime).
+    started: Instant,
+    /// Per-route request counts for this server instance, indexed by
+    /// [`obs::ROUTES`] (the `/metrics` counters are process-global; these
+    /// keep `/v1/stats` scoped to one server even in test processes that
+    /// run several).
+    route_counts: [AtomicU64; 5],
+    /// Requests currently inside `route` on this server.
+    in_flight: AtomicU64,
+    /// Cold solves forced by a present-but-invalid cache entry.
+    cold_fallbacks: AtomicU64,
 }
 
 /// A running scheduling service. Dropping it without calling
@@ -88,6 +105,10 @@ impl Server {
             solver_workers: config.solver_workers,
             max_body: config.max_body,
             requests: AtomicU64::new(0),
+            started: Instant::now(),
+            route_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            in_flight: AtomicU64::new(0),
+            cold_fallbacks: AtomicU64::new(0),
         });
         let pool = Pool::new(config.workers, config.backlog);
         let stop_flag = Arc::clone(&stop);
@@ -139,27 +160,53 @@ impl Server {
 }
 
 fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let arrived = Instant::now();
+    let m = obs::metrics();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     ctx.requests.fetch_add(1, Ordering::Relaxed);
     let request = match read_request(&mut stream, ctx.max_body) {
         Ok(request) => request,
-        Err(HttpError::BodyTooLarge { declared, limit }) => {
-            let body = error_body(&format!(
-                "body of {declared} bytes exceeds the {limit}-byte limit"
-            ));
-            let _ = write_response(&mut stream, 413, "Payload Too Large", JSON, body.as_bytes());
+        Err(e) => {
+            // Failed before routing: attribute to the `other` route.
+            let other = obs::ROUTES.len() - 1;
+            ctx.route_counts[other].fetch_add(1, Ordering::Relaxed);
+            m.requests[other].inc();
+            m.errors[other].inc();
+            match e {
+                HttpError::BodyTooLarge { declared, limit } => {
+                    let body = error_body(&format!(
+                        "body of {declared} bytes exceeds the {limit}-byte limit"
+                    ));
+                    let _ = write_response(
+                        &mut stream,
+                        413,
+                        "Payload Too Large",
+                        JSON,
+                        body.as_bytes(),
+                    );
+                }
+                HttpError::Malformed(msg) => {
+                    let body = error_body(&format!("malformed request: {msg}"));
+                    let _ = write_response(&mut stream, 400, "Bad Request", JSON, body.as_bytes());
+                }
+                HttpError::Io(_) => {} // client went away; nothing to say
+            }
             return;
         }
-        Err(HttpError::Malformed(m)) => {
-            let body = error_body(&format!("malformed request: {m}"));
-            let _ = write_response(&mut stream, 400, "Bad Request", JSON, body.as_bytes());
-            return;
-        }
-        Err(HttpError::Io(_)) => return, // client went away; nothing to say
     };
+    let read_us = arrived.elapsed().as_micros() as u64;
+    m.stages[STAGE_READ].observe(read_us);
+    let ri = obs::route_index(&request.path);
+    ctx.route_counts[ri].fetch_add(1, Ordering::Relaxed);
+    m.requests[ri].inc();
+    m.in_flight.add(1);
+    ctx.in_flight.fetch_add(1, Ordering::Relaxed);
     // A panic inside a handler must never take down the worker: answer 500
     // and keep serving.
-    let (status, reason, body) = match catch_unwind(AssertUnwindSafe(|| route(&request, ctx))) {
+    let routed = catch_unwind(AssertUnwindSafe(|| route(&request, ctx, read_us)));
+    m.in_flight.sub(1);
+    ctx.in_flight.fetch_sub(1, Ordering::Relaxed);
+    let (status, reason, body) = match routed {
         Ok(response) => response,
         Err(_) => (
             500,
@@ -167,10 +214,30 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
             error_body("internal error: request handler panicked"),
         ),
     };
-    let _ = write_response(&mut stream, status, reason, JSON, body.as_bytes());
+    if status >= 400 {
+        m.errors[ri].inc();
+    }
+    let ctype = if ri == 2 && status == 200 {
+        PROMETHEUS // GET /metrics is the one non-JSON endpoint
+    } else {
+        JSON
+    };
+    let write_started = Instant::now();
+    let _ = write_response(&mut stream, status, reason, ctype, body.as_bytes());
+    m.stages[STAGE_WRITE].observe(write_started.elapsed().as_micros() as u64);
+    let dur_us = arrived.elapsed().as_micros() as u64;
+    m.request_us.observe(dur_us);
+    if enabled() {
+        emit(TraceEvent::Request {
+            route: obs::ROUTES[ri].to_string(),
+            status,
+            dur_us,
+        });
+    }
 }
 
 const JSON: &str = "application/json";
+const PROMETHEUS: &str = "text/plain; version=0.0.4";
 
 fn error_body(message: &str) -> String {
     format!("{{\"status\":\"error\",\"error\":\"{}\"}}", escape(message))
@@ -178,12 +245,13 @@ fn error_body(message: &str) -> String {
 
 type Response = (u16, &'static str, String);
 
-fn route(request: &Request, ctx: &Ctx) -> Response {
+fn route(request: &Request, ctx: &Ctx, read_us: u64) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", "{\"status\":\"ok\"}".to_string()),
         ("GET", "/v1/stats") => stats_response(ctx),
-        ("POST", "/v1/schedule") => schedule_response(request, ctx),
-        (_, "/healthz" | "/v1/stats" | "/v1/schedule") => (
+        ("GET", "/metrics") => (200, "OK", Registry::global().render_prometheus()),
+        ("POST", "/v1/schedule") => schedule_response(request, ctx, read_us),
+        (_, "/healthz" | "/v1/stats" | "/metrics" | "/v1/schedule") => (
             405,
             "Method Not Allowed",
             error_body(&format!(
@@ -201,14 +269,33 @@ fn route(request: &Request, ctx: &Ctx) -> Response {
 
 fn stats_response(ctx: &Ctx) -> Response {
     let stats = ctx.cache.stats();
+    let m = obs::metrics();
+    let per_route: String = obs::ROUTES
+        .iter()
+        .enumerate()
+        .map(|(i, route)| {
+            format!(
+                ",\"{route}\":{}",
+                ctx.route_counts[i].load(Ordering::Relaxed)
+            )
+        })
+        .collect();
     let body = format!(
-        "{{\"status\":\"ok\",\"requests\":{},\"cache\":{{\"hits\":{},\"misses\":{},\
-         \"insertions\":{},\"entries\":{}}}}}",
+        "{{\"status\":\"ok\",\"uptime_s\":{},\
+         \"requests\":{{\"total\":{}{per_route}}},\
+         \"in_flight\":{},\"pool_queue_depth\":{},\"cold_solve_fallbacks\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"entries\":{},\
+         \"revalidation_failures\":{}}}}}",
+        ctx.started.elapsed().as_secs(),
         ctx.requests.load(Ordering::Relaxed),
+        ctx.in_flight.load(Ordering::Relaxed),
+        m.pool_queue_depth.get(),
+        ctx.cold_fallbacks.load(Ordering::Relaxed),
         stats.hits,
         stats.misses,
         stats.insertions,
-        stats.entries
+        stats.entries,
+        stats.revalidation_failures
     );
     (200, "OK", body)
 }
@@ -217,7 +304,46 @@ fn bad_request(message: &str) -> Response {
     (400, "Bad Request", error_body(message))
 }
 
-fn schedule_response(request: &Request, ctx: &Ctx) -> Response {
+/// Per-stage wall-clock timings of one `/v1/schedule` request, microseconds.
+/// Rendered into the response's `"stages"` object and observed into the
+/// `serve_request_stage_us` histograms (the `write` stage only reaches the
+/// histograms — the body is already built when the write happens).
+#[derive(Default)]
+struct Stages {
+    read_us: u64,
+    parse_us: u64,
+    canon_us: u64,
+    cache_us: u64,
+    solve_us: u64,
+    validate_us: u64,
+}
+
+impl Stages {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"read_us\":{},\"parse_us\":{},\"canon_us\":{},\"cache_us\":{},\
+             \"solve_us\":{},\"validate_us\":{}}}",
+            self.read_us,
+            self.parse_us,
+            self.canon_us,
+            self.cache_us,
+            self.solve_us,
+            self.validate_us
+        )
+    }
+}
+
+/// Time one stage: run `f`, observe the duration into the stage histogram,
+/// and return it alongside the result.
+fn timed<T>(stage: usize, f: impl FnOnce() -> T) -> (T, u64) {
+    let started = Instant::now();
+    let value = f();
+    let us = started.elapsed().as_micros() as u64;
+    obs::metrics().stages[stage].observe(us);
+    (value, us)
+}
+
+fn schedule_response(request: &Request, ctx: &Ctx, read_us: u64) -> Response {
     let r: usize = match request.query.get("r").map(|v| v.parse()) {
         Some(Ok(r)) => r,
         Some(Err(_)) => return bad_request("query parameter `r` is not a number"),
@@ -228,35 +354,64 @@ fn schedule_response(request: &Request, ctx: &Ctx) -> Response {
         Some(Err(_)) => return bad_request("query parameter `deadline_ms` is not a number"),
         None => ctx.deadline,
     };
-    let text = match std::str::from_utf8(&request.body) {
-        Ok(text) => text,
-        Err(_) => return bad_request("request body is not valid UTF-8"),
+    let mut stages = Stages {
+        read_us,
+        ..Stages::default()
     };
-    let format = match request.query.get("format") {
-        Some(name) => match name.parse::<Format>() {
-            Ok(format) => format,
-            Err(e) => return bad_request(&e),
-        },
-        None => Format::sniff(text),
-    };
-    let dag = match pebble_io::parse(text, format) {
-        Ok(dag) => dag,
-        Err(e) => return bad_request(&format!("parse error ({format}): {e}")),
+    let (parsed, parse_us) = timed(STAGE_PARSE, || {
+        let text = std::str::from_utf8(&request.body)
+            .map_err(|_| "request body is not valid UTF-8".to_string())?;
+        let format = match request.query.get("format") {
+            Some(name) => name.parse::<Format>()?,
+            None => Format::sniff(text),
+        };
+        pebble_io::parse(text, format)
+            .map(|dag| (dag, format))
+            .map_err(|e| format!("parse error ({format}): {e}"))
+    });
+    stages.parse_us = parse_us;
+    let (dag, format) = match parsed {
+        Ok(parsed) => parsed,
+        Err(message) => return bad_request(&message),
     };
 
     // Everything from here is what `solve_us` measures: hashing, cache
     // lookup (including re-validation) and — on a miss — the solve.
     let solve_started = Instant::now();
-    let form = canonical_form(&dag);
-    if let Some(hit) = ctx.cache.lookup(&dag, &form, r) {
-        return ok_response(&dag, format, r, deadline, "hit", &hit.report, solve_started);
+    let (form, canon_us) = timed(STAGE_CANON, || canonical_form(&dag));
+    stages.canon_us = canon_us;
+    let (looked_up, cache_us) = timed(STAGE_CACHE, || ctx.cache.lookup_outcome(&dag, &form, r));
+    stages.cache_us = cache_us;
+    match looked_up {
+        LookupOutcome::Hit(hit) => {
+            return ok_response(
+                &dag,
+                format,
+                r,
+                deadline,
+                "hit",
+                &hit.report,
+                solve_started,
+                &stages,
+            )
+        }
+        LookupOutcome::MissInvalid => {
+            // A stored entry failed re-validation: the request falls back to
+            // a cold solve, which is worth counting separately from a plain
+            // never-seen-this-shape miss.
+            ctx.cold_fallbacks.fetch_add(1, Ordering::Relaxed);
+            obs::metrics().cache_cold_solve_fallbacks.inc();
+        }
+        LookupOutcome::MissAbsent => {}
     }
     let anytime = AnytimeConfig {
         workers: ctx.solver_workers,
         fail_fast: true,
         ..AnytimeConfig::new(deadline)
     };
-    let outcome = match anytime_prbp_result(&dag, r, &anytime, None) {
+    let (solved, solve_us) = timed(STAGE_SOLVE, || anytime_prbp_result(&dag, r, &anytime, None));
+    stages.solve_us = solve_us;
+    let outcome = match solved {
         Ok(outcome) => outcome,
         Err(AnytimeError::SmallR { r }) => {
             return bad_request(&format!("r = {r} is too small for PRBP (need r >= 2)"))
@@ -276,25 +431,42 @@ fn schedule_response(request: &Request, ctx: &Ctx) -> Response {
     } else {
         "anytime"
     };
-    let report =
-        match certify_prbp_with(&dag, r, &outcome.trace, scheduler, BoundSet::auto_for(&dag)) {
-            Ok(report) => report,
-            // Unreachable: the anytime outcome is already simulator-validated.
-            Err(e) => {
-                return (
-                    500,
-                    "Internal Server Error",
-                    error_body(&format!("anytime schedule failed re-validation: {e}")),
-                )
-            }
-        };
-    if let Err(e) = ctx.cache.insert(&dag, &form, r, &report, &outcome.trace) {
-        // A cache write failure degrades to cold-serving; the answer stands.
-        let _ = e;
-    }
-    ok_response(&dag, format, r, deadline, "miss", &report, solve_started)
+    let (certified, validate_us) = timed(STAGE_VALIDATE, || {
+        certify_prbp_with(&dag, r, &outcome.trace, scheduler, BoundSet::auto_for(&dag)).inspect(
+            |report| {
+                if let Err(e) = ctx.cache.insert(&dag, &form, r, report, &outcome.trace) {
+                    // A cache write failure degrades to cold-serving; the
+                    // answer stands.
+                    let _ = e;
+                }
+            },
+        )
+    });
+    stages.validate_us = validate_us;
+    let report = match certified {
+        Ok(report) => report,
+        // Unreachable: the anytime outcome is already simulator-validated.
+        Err(e) => {
+            return (
+                500,
+                "Internal Server Error",
+                error_body(&format!("anytime schedule failed re-validation: {e}")),
+            )
+        }
+    };
+    ok_response(
+        &dag,
+        format,
+        r,
+        deadline,
+        "miss",
+        &report,
+        solve_started,
+        &stages,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ok_response(
     dag: &Dag,
     format: Format,
@@ -303,18 +475,22 @@ fn ok_response(
     cache: &str,
     report: &ScheduleReport,
     solve_started: Instant,
+    stages: &Stages,
 ) -> Response {
     let solve_us = solve_started.elapsed().as_micros();
     let report_json = serde_json::to_string(report).unwrap_or_else(|_| "null".to_string());
     let gap = serde_json::to_string(&report.gap()).unwrap_or_else(|_| "null".to_string());
+    // `report` stays the last key: clients (and our own tests) compare the
+    // certificate as the byte suffix from `"report":`.
     let body = format!(
         "{{\"status\":\"ok\",\"cache\":\"{cache}\",\"r\":{r},\"deadline_ms\":{},\
          \"input\":{{\"nodes\":{},\"edges\":{},\"format\":\"{}\"}},\
-         \"solve_us\":{solve_us},\"gap\":{gap},\"report\":{report_json}}}",
+         \"solve_us\":{solve_us},\"stages\":{},\"gap\":{gap},\"report\":{report_json}}}",
         deadline.as_millis(),
         dag.node_count(),
         dag.edge_count(),
-        format.name()
+        format.name(),
+        stages.to_json()
     );
     (200, "OK", body)
 }
@@ -385,6 +561,34 @@ mod tests {
         assert_eq!(status, 200);
         let stats = String::from_utf8(stats).unwrap();
         assert!(stats.contains("\"hits\":1"), "{stats}");
+        assert!(stats.contains("\"uptime_s\":"), "{stats}");
+        assert!(stats.contains("\"schedule\":2"), "{stats}");
+        assert!(stats.contains("\"in_flight\":"), "{stats}");
+
+        // The warm response carries the per-stage timing breakdown.
+        assert!(warm.contains("\"stages\":{\"read_us\":"), "{warm}");
+
+        // The Prometheus endpoint exposes the process-global registry. Other
+        // tests in this process also bump these counters, so assert presence
+        // and type lines, not exact values.
+        let (status, prom) = client_request(&addr, "GET", "/metrics", b"", timeout).unwrap();
+        assert_eq!(status, 200);
+        let prom = String::from_utf8(prom).unwrap();
+        assert!(
+            prom.contains("# TYPE serve_requests_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("# TYPE serve_request_us histogram"), "{prom}");
+        assert!(
+            prom.contains("serve_requests_total{route=\"schedule\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("cache_hits_total"), "{prom}");
+        assert!(prom.contains("serve_request_us_count"), "{prom}");
+        assert!(
+            prom.contains("serve_request_stage_us_sum{stage=\"solve\"}"),
+            "{prom}"
+        );
 
         let dir = server.cache().dir().to_path_buf();
         server.shutdown();

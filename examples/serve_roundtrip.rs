@@ -37,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         doc.as_bytes(),
         timeout,
     )?;
-    println!("cold  ({status}): {}", String::from_utf8_lossy(&body));
+    let cold = String::from_utf8_lossy(&body).into_owned();
+    println!("cold  ({status}): {cold}");
 
     // Warm: same shape, answered from the cache after the stored schedule
     // re-validated through the simulator on this request's DAG.
@@ -50,10 +51,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "second request must hit"
     );
 
+    // Each response carries a per-stage timing breakdown. Side by side, it
+    // shows exactly what the cache buys: the cold request pays in `solve`
+    // and `validate`, the hit pays only the (simulator re-validating)
+    // `cache` stage.
+    println!("\nstage          cold         hit");
+    for stage in ["read", "parse", "canon", "cache", "solve", "validate"] {
+        let key = format!("\"{stage}_us\":");
+        println!(
+            "{stage:<9} {:>9} {:>11}",
+            stage_us(&cold, &key).map_or("-".into(), |v| format!("{v}us")),
+            stage_us(&warm, &key).map_or("-".into(), |v| format!("{v}us")),
+        );
+    }
+
     let (status, body) = client_request(&addr, "GET", "/v1/stats", b"", timeout)?;
-    println!("stats ({status}): {}", String::from_utf8_lossy(&body));
+    println!("\nstats ({status}): {}", String::from_utf8_lossy(&body));
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&cache_dir);
     Ok(())
+}
+
+/// Pull one `"<stage>_us":N` value out of a response's `"stages"` object
+/// (the top level also has a `"solve_us"` key, so scope the search).
+fn stage_us(body: &str, key: &str) -> Option<u64> {
+    let stages = &body[body.find("\"stages\":{")?..];
+    let stages = &stages[..stages.find('}')? + 1];
+    let rest = &stages[stages.find(key)? + key.len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
 }

@@ -14,7 +14,10 @@
 //! * `prbp serve` — run the certified-scheduling HTTP service over a
 //!   content-addressed schedule cache;
 //! * `prbp warm` — precompute that cache from a directory of instances;
-//! * `prbp submit` — client for a running `prbp serve`.
+//! * `prbp submit` — client for a running `prbp serve` (deterministic
+//!   exponential-backoff retries on transient connection failures);
+//! * `prbp trace` — analyse a `--trace` JSONL capture: phase timings and
+//!   the anytime convergence curve.
 //!
 //! Exit codes: 0 success, 1 runtime/parse error, 2 usage error, 3 deadline
 //! expired before any incumbent schedule existed (`--deadline-ms` solves and
@@ -22,12 +25,13 @@
 
 use pebble_dag::{generators, Dag};
 use pebble_io::Format;
+use pebble_obs::trace::JsonlSink;
 use pebble_sched::{
     anytime_prbp_result, best_prbp, certify_greedy_prbp, certify_greedy_rbp, certify_prbp_with,
     certify_rbp_with, default_suite, prbp_bound_ladder, rbp_bound_ladder, AnytimeConfig,
     AnytimeError, AnytimeOutcome, BoundSet, BoundValue, ComposeConfig, ScheduleReport, Scheduler,
 };
-use pebble_serve::http::client_request_with_retries;
+use pebble_serve::http::{client_request_with_retries, Backoff};
 use pebble_serve::{warm_from_dir, ScheduleCache, ServeConfig, Server};
 use std::collections::HashMap;
 use std::io::Read;
@@ -47,7 +51,7 @@ USAGE:
         fig1                                     (the paper's Figure 1 DAG)
   prbp schedule --input PATH --r <cache> [--model prbp|rbp] [--format F]
                 [--scheduler S] [--bounds fast|full|auto] [--out PATH]
-                [--deadline-ms MS [--workers N]]
+                [--deadline-ms MS [--workers N]] [--trace FILE.jsonl]
       S: greedy:<belady|lru|fewest>:<natural|dfs> (default greedy:belady:dfs,
          streaming), beam:<width>[:<branch>], local:<iterations>, baseline,
          compose[:<exact-budget>] (structure-aware decomposition; PRBP only),
@@ -56,6 +60,8 @@ USAGE:
          only): best simulator-validated schedule within the wall-clock
          budget, improved by --workers parallel exact search (0 = all cores)
          and certified with an admissible bound ladder
+      --trace FILE.jsonl streams typed observability events (phase spans,
+         incumbent/bound improvements) to FILE; analyse with `prbp trace`
   prbp bound --input PATH --r <cache> [--model prbp|rbp] [--format F]
              [--bounds fast|full|auto] [--out PATH]
   prbp convert --input PATH --out PATH [--from F] [--to F]
@@ -71,7 +77,12 @@ USAGE:
   prbp submit --addr HOST:PORT --input PATH --r <cache>
               [--deadline-ms MS] [--format F] [--out PATH]
       send one DAG to a running server; exit 3 if the server reports
-      deadline-no-incumbent
+      deadline-no-incumbent. Transient connection failures retry under
+      deterministic exponential backoff (250 ms doubling, capped at 4 s)
+  prbp trace FILE.jsonl
+      analyse a --trace capture: phase-timing breakdown and the anytime
+      convergence curve (time-to-first-incumbent, time-to-final-bound,
+      gap over time); `-` reads stdin
 
   F: edgelist | dot | json (default: by file extension, else sniffed;
      `--input -` reads stdin)
@@ -88,19 +99,24 @@ fn run() -> i32 {
         return if argv.is_empty() { 2 } else { 0 };
     }
     let cmd = argv[0].clone();
-    let args = match Args::parse(&argv[1..]) {
-        Ok(a) => a,
-        Err(e) => return usage_error(&e),
-    };
-    let result = match cmd.as_str() {
-        "gen" => cmd_gen(&args),
-        "schedule" => cmd_schedule(&args),
-        "bound" => cmd_bound(&args),
-        "convert" => cmd_convert(&args),
-        "serve" => cmd_serve(&args),
-        "warm" => cmd_warm(&args),
-        "submit" => cmd_submit(&args),
-        other => return usage_error(&format!("unknown subcommand `{other}`")),
+    let result = if cmd == "trace" {
+        // `trace` takes a positional path, not `--key value` flags.
+        cmd_trace(&argv[1..])
+    } else {
+        let args = match Args::parse(&argv[1..]) {
+            Ok(a) => a,
+            Err(e) => return usage_error(&e),
+        };
+        match cmd.as_str() {
+            "gen" => cmd_gen(&args),
+            "schedule" => cmd_schedule(&args),
+            "bound" => cmd_bound(&args),
+            "convert" => cmd_convert(&args),
+            "serve" => cmd_serve(&args),
+            "warm" => cmd_warm(&args),
+            "submit" => cmd_submit(&args),
+            other => return usage_error(&format!("unknown subcommand `{other}`")),
+        }
     };
     match result {
         Ok(()) => 0,
@@ -412,8 +428,30 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
         "out",
         "deadline-ms",
         "workers",
+        "trace",
     ])?;
+    let traced = match args.get("trace") {
+        Some(p) => {
+            let sink = JsonlSink::create(std::path::Path::new(p))
+                .map_err(|e| runtime(format!("--trace {p}: {e}")))?;
+            pebble_obs::trace::set_sink(Arc::new(sink));
+            true
+        }
+        None => false,
+    };
+    let result = schedule_run(args);
+    if traced {
+        // Flush and detach the JSONL sink: the process exits through
+        // `std::process::exit`, which runs no destructors.
+        pebble_obs::trace::clear_sink();
+    }
+    result
+}
+
+fn schedule_run(args: &Args) -> Result<(), CliError> {
+    let parse_span = pebble_obs::trace::span("cli:parse");
     let (dag, format, path) = load_dag(args)?;
+    drop(parse_span);
     let r = args.require_usize("r")?;
     let model = args.get("model").unwrap_or("prbp");
     let set = bound_set(args, &dag)?;
@@ -441,7 +479,10 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
             ..AnytimeConfig::new(Duration::from_millis(deadline_ms as u64))
         };
         let started = Instant::now();
-        let outcome = match anytime_prbp_result(&dag, r, &config, None) {
+        let solve_span = pebble_obs::trace::span("cli:solve");
+        let solved = anytime_prbp_result(&dag, r, &config, None);
+        drop(solve_span);
+        let outcome = match solved {
             Ok(outcome) => outcome,
             Err(AnytimeError::SmallR { r }) => {
                 return Err(runtime(format!("r = {r} is too small (PRBP needs r >= 2)")))
@@ -464,8 +505,10 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
             }
         };
         let solve_ms = started.elapsed().as_millis();
+        let certify_span = pebble_obs::trace::span("cli:certify");
         let report = certify_prbp_with(&dag, r, &outcome.trace, "anytime", set)
             .map_err(|e| runtime(format!("certification failed: {e}")))?;
+        drop(certify_span);
         eprintln!(
             "{}: {} nodes, {} edges | anytime r={} cost={} best_bound={} gap={:.2}x \
              ({} after {solve_ms} ms, deadline {deadline_ms} ms{})",
@@ -483,6 +526,7 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
                 ""
             }
         );
+        let _write_span = pebble_obs::trace::span("cli:write");
         return write_output(
             args.get("out"),
             &anytime_doc(
@@ -501,6 +545,7 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
         return Err(usage("--workers requires --deadline-ms"));
     }
 
+    let solve_span = pebble_obs::trace::span("cli:solve");
     let report = if sched_name == "suite" {
         if model != "prbp" {
             return Err(usage("--scheduler suite is PRBP-only"));
@@ -552,6 +597,7 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
             (_, other) => return Err(usage(format!("--model expects prbp or rbp, got `{other}`"))),
         }
     };
+    drop(solve_span);
 
     eprintln!(
         "{}: {} nodes, {} edges | {} r={} cost={} best_bound={} gap={:.2}x",
@@ -564,7 +610,24 @@ fn cmd_schedule(args: &Args) -> Result<(), CliError> {
         report.best_bound,
         report.gap()
     );
+    let _write_span = pebble_obs::trace::span("cli:write");
     write_output(args.get("out"), &schedule_doc(&path, format, &dag, &report))
+}
+
+fn cmd_trace(rest: &[String]) -> Result<(), CliError> {
+    let path = match rest {
+        [p] if !p.starts_with("--") => p.as_str(),
+        _ => {
+            return Err(usage(
+                "trace expects exactly one JSONL file path (`-` reads stdin)",
+            ))
+        }
+    };
+    let text = read_input(path)?;
+    let events =
+        pebble_obs::analyze::parse_jsonl(&text).map_err(|e| runtime(format!("{path}: {e}")))?;
+    print!("{}", pebble_obs::analyze::summarize(&events));
+    Ok(())
 }
 
 fn cmd_bound(args: &Args) -> Result<(), CliError> {
@@ -687,7 +750,8 @@ fn cmd_submit(args: &Args) -> Result<(), CliError> {
         target.push_str(&format!("&format={}", f.name()));
     }
     // Generous retry window: the server may still be binding its listener
-    // when a script starts both back-to-back.
+    // when a script starts both back-to-back. Backoff doubles from 250 ms
+    // and plateaus at 4 s, deterministically.
     let (status, body) = client_request_with_retries(
         &addr,
         "POST",
@@ -695,7 +759,7 @@ fn cmd_submit(args: &Args) -> Result<(), CliError> {
         text.as_bytes(),
         Duration::from_secs(600),
         20,
-        Duration::from_millis(250),
+        Backoff::new(Duration::from_millis(250), Duration::from_secs(4)),
     )
     .map_err(|e| runtime(format!("request to {addr} failed: {e}")))?;
     let mut body = String::from_utf8_lossy(&body).into_owned();

@@ -26,6 +26,11 @@
 //!   hit), driven by `prbp serve | warm | submit`. The operating notes live
 //!   in [`ARCHITECTURE.md`](crate::architecture) and
 //!   [`docs/API.md`](crate::http_api).
+//! * [`obs`] — dependency-free observability: a process-global metrics
+//!   registry (counters, gauges, log-bucketed histograms; rendered by
+//!   `GET /metrics` in the Prometheus text format), a typed JSONL trace
+//!   stream (`prbp schedule --trace`), and the trace analyzer behind
+//!   `prbp trace`.
 //!
 //! ## Quickstart
 //!
@@ -104,6 +109,7 @@ pub use pebble_dag as dag;
 pub use pebble_game as game;
 pub use pebble_hardness as hardness;
 pub use pebble_io as io;
+pub use pebble_obs as obs;
 pub use pebble_sched as sched;
 pub use pebble_serve as serve;
 
